@@ -1,0 +1,304 @@
+//! FLAIR's *online* training mode (Qureshi & Chishti, DSN'13), modelled as
+//! an ablation.
+//!
+//! The paper's headline comparisons pre-train FLAIR and exclude this cost;
+//! §5.3 describes what is being excluded: FLAIR tests two ways of the
+//! 16-way cache with MBIST while the remaining 14 ways run under Dual
+//! Modular Redundancy (DMR), leaving an effective capacity of 7/16 until
+//! every way pair has been characterized. This module implements that
+//! training dynamic so its cost can be quantified against Killi's
+//! always-on-full-bandwidth learning.
+
+use std::sync::Arc;
+
+use killi_ecc::bits::Line512;
+use killi_ecc::secded::{secded, SecdedCode, SecdedDecode};
+use killi_fault::map::{FaultMap, LineId};
+use killi_sim::protection::{FillOutcome, LineProtection, ProtectionStats, ReadOutcome};
+
+/// Training progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Way pair `pair` is under MBIST; untested ways run DMR.
+    Training { pair: usize },
+    /// All ways characterized: plain per-line SECDED with the learned
+    /// disable map.
+    Steady,
+}
+
+/// FLAIR with its online DMR + rotating-MBIST characterization phase.
+pub struct FlairOnline {
+    map: Arc<FaultMap>,
+    l2_ways: usize,
+    /// L2 accesses spent testing one way pair.
+    accesses_per_pair: u64,
+    phase: Phase,
+    accesses: u64,
+    tested: Vec<bool>,
+    disabled: Vec<bool>,
+    codes: Vec<Option<SecdedCode>>,
+    corrections: u64,
+    detections: u64,
+    dmr_saves: u64,
+}
+
+impl FlairOnline {
+    /// Builds the scheme; `accesses_per_pair` controls how long each MBIST
+    /// round lasts in L2 accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault map is too small or `l2_ways` is odd.
+    pub fn new(map: Arc<FaultMap>, l2_lines: usize, l2_ways: usize, accesses_per_pair: u64) -> Self {
+        assert!(map.lines() >= l2_lines, "fault map too small");
+        assert_eq!(l2_ways % 2, 0, "way pairs need an even way count");
+        FlairOnline {
+            map,
+            l2_ways,
+            accesses_per_pair: accesses_per_pair.max(1),
+            phase: Phase::Training { pair: 0 },
+            accesses: 0,
+            tested: vec![false; l2_lines],
+            disabled: vec![false; l2_lines],
+            codes: vec![None; l2_lines],
+            corrections: 0,
+            detections: 0,
+            dmr_saves: 0,
+        }
+    }
+
+    /// True once every way pair has been characterized.
+    pub fn steady(&self) -> bool {
+        self.phase == Phase::Steady
+    }
+
+    /// Times the DMR path rescued data that SECDED alone could not.
+    pub fn dmr_saves(&self) -> u64 {
+        self.dmr_saves
+    }
+
+    fn way_of(&self, line: LineId) -> usize {
+        line % self.l2_ways
+    }
+
+    /// Advances the training clock by one L2 access.
+    fn tick(&mut self) {
+        let Phase::Training { pair } = self.phase else {
+            return;
+        };
+        self.accesses += 1;
+        if !self.accesses.is_multiple_of(self.accesses_per_pair) {
+            return;
+        }
+        // MBIST finished this pair: characterize its lines like the oracle.
+        for line in 0..self.tested.len() {
+            let way = self.way_of(line);
+            if way / 2 == pair {
+                self.tested[line] = true;
+                let faults = self.map.data_fault_count(line)
+                    + self.map.count_in(line, killi_fault::map::layout::SECDED);
+                self.disabled[line] = faults >= 2;
+            }
+        }
+        let next = pair + 1;
+        self.phase = if next < self.l2_ways / 2 {
+            Phase::Training { pair: next }
+        } else {
+            Phase::Steady
+        };
+    }
+}
+
+impl LineProtection for FlairOnline {
+    fn name(&self) -> &str {
+        "flair-online"
+    }
+
+    fn reset(&mut self) {
+        self.phase = Phase::Training { pair: 0 };
+        self.accesses = 0;
+        for t in &mut self.tested {
+            *t = false;
+        }
+        for d in &mut self.disabled {
+            *d = false;
+        }
+        for c in &mut self.codes {
+            *c = None;
+        }
+    }
+
+    fn victim_class(&self, line: LineId) -> Option<u8> {
+        match self.phase {
+            Phase::Training { pair } => {
+                let way = self.way_of(line);
+                if way / 2 == pair {
+                    return None; // under MBIST test
+                }
+                if self.tested[line] {
+                    return (!self.disabled[line]).then_some(0);
+                }
+                // Untested ways run DMR: odd ways mirror their even partner,
+                // halving capacity (effective 7/16 of the cache).
+                way.is_multiple_of(2).then_some(0)
+            }
+            Phase::Steady => (!self.disabled[line]).then_some(0),
+        }
+    }
+
+    fn on_fill(&mut self, line: LineId, data: &Line512) -> FillOutcome {
+        self.tick();
+        self.codes[line] = Some(self.map.corrupt_secded(line, secded().encode(data)));
+        FillOutcome::default()
+    }
+
+    fn on_read_hit(&mut self, line: LineId, stored: &mut Line512) -> ReadOutcome {
+        self.tick();
+        let Some(code) = self.codes[line] else {
+            debug_assert!(false, "read hit without stored checkbits");
+            return ReadOutcome::ErrorMiss { extra_cycles: 0 };
+        };
+        let dmr = matches!(self.phase, Phase::Training { .. }) && !self.tested[line];
+        match secded().decode(stored, code) {
+            SecdedDecode::Clean | SecdedDecode::CorrectedCheck => ReadOutcome::Clean {
+                extra_cycles: 0,
+                corrected: false,
+            },
+            SecdedDecode::CorrectedData { bit } => {
+                stored.flip_bit(bit);
+                self.corrections += 1;
+                ReadOutcome::Clean {
+                    extra_cycles: 0,
+                    corrected: true,
+                }
+            }
+            SecdedDecode::DetectedDouble | SecdedDecode::DetectedUncorrectable => {
+                if dmr {
+                    // The mirror copy supplies the data: no miss, but the
+                    // simulator cannot reconstruct the payload here, so the
+                    // line is refreshed through an error miss *without*
+                    // charging memory? DMR reads both copies anyway — model
+                    // it as a rescued (clean) access.
+                    self.dmr_saves += 1;
+                    // The mirrored copy occupies the odd partner way, which
+                    // the simulator does not materialize; rebuilding the
+                    // data requires the architectural copy, so report a
+                    // corrected hit and let the SDC check validate it via
+                    // the correction path below.
+                    // A detected-uncorrectable pattern under DMR is repaired
+                    // by the duplicate: treat as an error miss with zero
+                    // extra penalty to refresh the array content.
+                    self.detections += 1;
+                    self.codes[line] = None;
+                    return ReadOutcome::ErrorMiss { extra_cycles: 0 };
+                }
+                self.detections += 1;
+                self.codes[line] = None;
+                ReadOutcome::ErrorMiss { extra_cycles: 0 }
+            }
+        }
+    }
+
+    fn on_evict(&mut self, line: LineId, _stored: &Line512) {
+        self.codes[line] = None;
+    }
+
+    fn hit_latency_extra(&self) -> u32 {
+        1
+    }
+
+    fn protection_stats(&self) -> ProtectionStats {
+        ProtectionStats {
+            disabled_lines: self.disabled.iter().filter(|&&d| d).count() as u64,
+            corrections: self.corrections,
+            detections: self.detections,
+            ecc_cache_accesses: 0,
+            ecc_cache_evictions: 0,
+            dfh_census: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for FlairOnline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlairOnline")
+            .field("phase", &self.phase)
+            .field("accesses", &self.accesses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use killi_fault::map::CellFault;
+
+    fn map_with(faults: Vec<(usize, Vec<CellFault>)>, lines: usize) -> Arc<FaultMap> {
+        let mut per_line = vec![Vec::new(); lines];
+        for (line, fs) in faults {
+            per_line[line] = fs;
+        }
+        Arc::new(FaultMap::from_faults(per_line))
+    }
+
+    #[test]
+    fn training_reduces_capacity_to_7_of_16() {
+        let map = map_with(vec![], 32);
+        let s = FlairOnline::new(map, 32, 16, 1000);
+        // Set 0: ways 0..16. Pair 0 (ways 0,1) under test; odd untested
+        // ways mirror even ones.
+        let usable: Vec<usize> = (0..16).filter(|&w| s.victim_class(w).is_some()).collect();
+        assert_eq!(usable, vec![2, 4, 6, 8, 10, 12, 14], "7 usable ways");
+    }
+
+    #[test]
+    fn training_completes_after_all_pairs() {
+        let map = map_with(
+            vec![(0, vec![CellFault { cell: 1, stuck: true }, CellFault { cell: 2, stuck: true }])],
+            32,
+        );
+        let mut s = FlairOnline::new(map, 32, 16, 2);
+        let data = Line512::zero();
+        // 8 pairs x 2 accesses each.
+        for i in 0..16 {
+            s.on_fill((i % 8) as usize + 2, &data); // avoid untestable ways
+        }
+        assert!(s.steady(), "{s:?}");
+        // Learned disable map matches the oracle: line 0 has 2 faults.
+        assert_eq!(s.victim_class(0), None);
+        assert_eq!(s.victim_class(1), Some(0));
+        assert_eq!(s.protection_stats().disabled_lines, 1);
+    }
+
+    #[test]
+    fn steady_state_corrects_single_faults() {
+        let map = map_with(vec![(2, vec![CellFault { cell: 9, stuck: true }])], 32);
+        let mut s = FlairOnline::new(Arc::clone(&map), 32, 16, 1);
+        let data = Line512::zero();
+        for i in 0..16 {
+            s.on_fill(4 + (i % 4) as usize, &data);
+        }
+        assert!(s.steady());
+        s.on_fill(2, &data);
+        let mut arr = data;
+        map.corrupt_data(2, &mut arr);
+        match s.on_read_hit(2, &mut arr) {
+            ReadOutcome::Clean { corrected, .. } => assert!(corrected),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(arr, data);
+    }
+
+    #[test]
+    fn reset_restarts_training() {
+        let map = map_with(vec![], 32);
+        let mut s = FlairOnline::new(map, 32, 16, 1);
+        let data = Line512::zero();
+        for i in 0..8 {
+            s.on_fill(2 + (i % 4) as usize, &data);
+        }
+        assert!(s.steady());
+        s.reset();
+        assert!(!s.steady());
+    }
+}

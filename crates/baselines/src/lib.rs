@@ -1,0 +1,22 @@
+//! Baseline low-voltage protection schemes the paper compares Killi
+//! against (§5.1–§5.2).
+//!
+//! - [`per_line::PerLineEcc`] — pre-characterized per-line SECDED (FLAIR's
+//!   steady state) and DEC-TED baselines,
+//! - [`msecc::MsEcc`] — Orthogonal-Latin-Square MS-ECC, the
+//!   strongest/most-expensive scheme,
+//! - [`flair_online::FlairOnline`] — FLAIR's online DMR + rotating-MBIST
+//!   training mode (the overhead the paper's Figure 4 runs exclude), as an
+//!   ablation.
+//!
+//! All baselines run on the identical simulator substrate as Killi via the
+//! `LineProtection` trait; the only privileged information they receive is
+//! the MBIST-equivalent oracle disable map, matching the paper's
+//! methodology.
+
+pub mod flair_online;
+pub mod msecc;
+pub mod per_line;
+
+pub use msecc::MsEcc;
+pub use per_line::{EccStrength, PerLineEcc};

@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the simulator substrate: fault-map
+//! construction and the protected L2 access paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use killi::scheme::{KilliConfig, KilliScheme};
+use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::map::FaultMap;
+use killi_sim::cache::{CacheGeometry, L2Cache};
+use killi_sim::mem::MainMemory;
+use killi_sim::protection::Unprotected;
+
+fn geometry() -> CacheGeometry {
+    CacheGeometry {
+        size_bytes: 256 * 1024,
+        ways: 16,
+        line_bytes: 64,
+    }
+}
+
+fn bench_fault_map(c: &mut Criterion) {
+    let model = CellFailureModel::finfet14();
+    c.bench_function("fault_map/build_4096_lines", |b| {
+        b.iter(|| {
+            FaultMap::build(
+                4096,
+                black_box(&model),
+                NormVdd::LV_0_625,
+                FreqGhz::PEAK,
+                42,
+            )
+        })
+    });
+}
+
+fn bench_l2_paths(c: &mut Criterion) {
+    let geom = geometry();
+    let model = CellFailureModel::finfet14();
+    let map = Arc::new(FaultMap::build(
+        geom.lines(),
+        &model,
+        NormVdd::LV_0_625,
+        FreqGhz::PEAK,
+        1,
+    ));
+
+    c.bench_function("l2/unprotected_hit", |b| {
+        let mut l2 = L2Cache::new(
+            geom,
+            8,
+            2,
+            2,
+            Arc::new(FaultMap::fault_free(geom.lines())),
+            Box::new(Unprotected::new()),
+        );
+        let mut mem = MainMemory::new(1, 300);
+        l2.access_load(0x40, 0, &mut mem);
+        let mut now = 1000u64;
+        b.iter(|| {
+            now += 10;
+            l2.access_load(black_box(0x40), now, &mut mem)
+        })
+    });
+
+    c.bench_function("l2/killi_hit", |b| {
+        let killi = KilliScheme::new(
+            KilliConfig::with_ratio(64),
+            Arc::clone(&map),
+            geom.lines(),
+            geom.ways,
+        );
+        let mut l2 = L2Cache::new(geom, 8, 2, 2, Arc::clone(&map), Box::new(killi));
+        let mut mem = MainMemory::new(1, 300);
+        l2.access_load(0x40, 0, &mut mem);
+        let mut now = 1000u64;
+        b.iter(|| {
+            now += 10;
+            l2.access_load(black_box(0x40), now, &mut mem)
+        })
+    });
+
+    c.bench_function("l2/killi_miss_fill", |b| {
+        let killi = KilliScheme::new(
+            KilliConfig::with_ratio(64),
+            Arc::clone(&map),
+            geom.lines(),
+            geom.ways,
+        );
+        let mut l2 = L2Cache::new(geom, 8, 2, 2, Arc::clone(&map), Box::new(killi));
+        let mut mem = MainMemory::new(1, 300);
+        let mut addr = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64 * 257); // always a fresh line
+            now += 10;
+            l2.access_load(black_box(addr), now, &mut mem)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fault_map, bench_l2_paths);
+criterion_main!(benches);

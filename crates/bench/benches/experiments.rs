@@ -1,0 +1,95 @@
+//! Criterion benchmarks that exercise every paper experiment at reduced
+//! scale, so `cargo bench` covers the full reproduction pipeline (the
+//! full-size runs live in the `fig*`/`table*`/`repro` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use killi_bench::experiments;
+use killi_bench::runner::{run_matrix, MatrixConfig};
+use killi_bench::schemes::SchemeSpec;
+use killi_fault::cell_model::NormVdd;
+use killi_sim::cache::CacheGeometry;
+use killi_sim::gpu::GpuConfig;
+use killi_workloads::Workload;
+
+fn small_matrix_config() -> MatrixConfig {
+    MatrixConfig {
+        ops_per_cu: 5_000,
+        seed: 42,
+        vdd: NormVdd::LV_0_625,
+        gpu: GpuConfig {
+            cus: 2,
+            l2: CacheGeometry {
+                size_bytes: 128 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
+            l2_banks: 4,
+            mem_latency: 100,
+            ..GpuConfig::default()
+        },
+        threads: 2,
+    }
+}
+
+fn bench_analytic_experiments(c: &mut Criterion) {
+    c.bench_function("experiments/fig1_cell_curves", |b| {
+        b.iter(|| black_box(experiments::fig1()))
+    });
+    c.bench_function("experiments/fig6_coverage_analytic", |b| {
+        let model = killi_fault::cell_model::CellFailureModel::finfet14();
+        b.iter(|| {
+            black_box(killi_model::coverage::coverage_at(
+                &model,
+                NormVdd(black_box(0.6)),
+            ))
+        })
+    });
+    c.bench_function("experiments/fig6_coverage_monte_carlo", |b| {
+        let model = killi_fault::cell_model::CellFailureModel::finfet14();
+        b.iter(|| {
+            black_box(killi_bench::empirical::measure(
+                &model,
+                NormVdd(0.6),
+                500,
+                42,
+            ))
+        })
+    });
+    c.bench_function("experiments/table4_area", |b| {
+        b.iter(|| black_box(experiments::table4()))
+    });
+    c.bench_function("experiments/table5_area", |b| {
+        b.iter(|| black_box(experiments::table5()))
+    });
+    c.bench_function("experiments/table7_olsc", |b| {
+        b.iter(|| black_box(experiments::table7()))
+    });
+}
+
+fn bench_fig2_sampled(c: &mut Criterion) {
+    c.bench_function("experiments/fig2_line_distribution", |b| {
+        b.iter(|| black_box(experiments::fig2(7)))
+    });
+}
+
+fn bench_simulation_matrix(c: &mut Criterion) {
+    let config = small_matrix_config();
+    c.bench_function("experiments/fig4_fig5_matrix_cell", |b| {
+        b.iter(|| {
+            black_box(run_matrix(
+                &[Workload::Xsbench],
+                &[SchemeSpec::Killi(64)],
+                &config,
+            ))
+        })
+    });
+    c.bench_function("experiments/table6_power_inputs", |b| {
+        let results = run_matrix(&[Workload::Hacc], &SchemeSpec::figure4_set(), &config);
+        b.iter(|| black_box(experiments::table6(&results)))
+    });
+}
+
+criterion_group!(benches, bench_analytic_experiments, bench_fig2_sampled, bench_simulation_matrix);
+criterion_main!(benches);

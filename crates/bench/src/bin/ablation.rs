@@ -1,0 +1,9 @@
+//! Runs the ablation study (§4.4 optimizations, §5.2/§5.6.2 extensions,
+//! FLAIR online training).
+use killi_bench::experiments::ablations;
+use killi_bench::runner::MatrixConfig;
+
+fn main() {
+    let config = MatrixConfig::paper(killi_bench::ops_from_env(), 42);
+    killi_bench::report::emit("ablation", &ablations(&config));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1.
+fn main() {
+    killi_bench::report::emit("fig1", &killi_bench::experiments::fig1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2.
+fn main() {
+    killi_bench::report::emit("fig2", &killi_bench::experiments::fig2(42));
+}

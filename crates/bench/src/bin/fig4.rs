@@ -1,0 +1,9 @@
+//! Regenerates Figure 4 (runs the full simulation matrix).
+use killi_bench::experiments::{fig4, perf_matrix};
+use killi_bench::runner::MatrixConfig;
+
+fn main() {
+    let config = MatrixConfig::paper(killi_bench::ops_from_env(), 42);
+    let results = perf_matrix(&config);
+    killi_bench::report::emit("fig4", &fig4(&results));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 5 (runs the full simulation matrix).
+use killi_bench::experiments::{fig5, perf_matrix};
+use killi_bench::runner::MatrixConfig;
+
+fn main() {
+    let config = MatrixConfig::paper(killi_bench::ops_from_env(), 42);
+    let results = perf_matrix(&config);
+    killi_bench::report::emit("fig5", &fig5(&results));
+}

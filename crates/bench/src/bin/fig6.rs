@@ -1,0 +1,4 @@
+//! Regenerates Figure 6.
+fn main() {
+    killi_bench::report::emit("fig6", &killi_bench::experiments::fig6());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §5.5 low-Vmin comparison (Killi-with-OLSC vs MS-ECC).
+use killi_bench::experiments::lowvmin;
+use killi_bench::runner::MatrixConfig;
+
+fn main() {
+    let config = MatrixConfig::paper(killi_bench::ops_from_env(), 42);
+    killi_bench::report::emit("lowvmin", &lowvmin(&config));
+}

@@ -1,0 +1,45 @@
+//! Runs every experiment of the paper and writes `results/*.txt`.
+use killi_bench::experiments as ex;
+use killi_bench::report::emit;
+use killi_bench::runner::MatrixConfig;
+
+fn main() {
+    let started = std::time::Instant::now();
+    emit("fig1", &ex::fig1());
+    emit("fig2", &ex::fig2(42));
+    emit("fig6", &ex::fig6());
+    emit("table4", &ex::table4());
+    emit("table5", &ex::table5());
+    emit("table7", &ex::table7());
+
+    let config = MatrixConfig::paper(killi_bench::ops_from_env(), 42);
+    eprintln!(
+        "running the {}x{} simulation matrix ({} ops/CU, {} threads)...",
+        10,
+        9,
+        config.ops_per_cu,
+        config.threads
+    );
+    let results = ex::perf_matrix(&config);
+    emit("fig4", &ex::fig4(&results));
+    emit("fig5", &ex::fig5(&results));
+    emit("table6", &ex::table6(&results));
+
+    eprintln!("running ablations...");
+    emit("ablation", &ex::ablations(&config));
+
+    eprintln!("running the section 5.5 low-Vmin comparison...");
+    emit("lowvmin", &ex::lowvmin(&config));
+
+    for extra in ["dvfs", "writeback", "yield", "eccsweep"] {
+        eprintln!("running the {extra} experiment...");
+        let status = std::process::Command::new(
+            std::env::current_exe().unwrap().with_file_name(extra),
+        )
+        .status();
+        if status.is_err() {
+            eprintln!("note: run `cargo run --release -p killi-bench --bin {extra}` separately");
+        }
+    }
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+}

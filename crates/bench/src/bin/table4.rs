@@ -1,0 +1,4 @@
+//! Regenerates Table 4.
+fn main() {
+    killi_bench::report::emit("table4", &killi_bench::experiments::table4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5.
+fn main() {
+    killi_bench::report::emit("table5", &killi_bench::experiments::table5());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 6 (runs the full simulation matrix).
+use killi_bench::experiments::{perf_matrix, table6};
+use killi_bench::runner::MatrixConfig;
+
+fn main() {
+    let config = MatrixConfig::paper(killi_bench::ops_from_env(), 42);
+    let results = perf_matrix(&config);
+    killi_bench::report::emit("table6", &table6(&results));
+}

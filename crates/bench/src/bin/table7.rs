@@ -1,0 +1,4 @@
+//! Regenerates Table 7.
+fn main() {
+    killi_bench::report::emit("table7", &killi_bench::experiments::table7());
+}

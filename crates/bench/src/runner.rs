@@ -1,0 +1,285 @@
+//! The performance-experiment runner behind Figures 4/5 and Table 6:
+//! a (workload x scheme) simulation matrix executed across threads.
+
+use std::sync::Arc;
+
+use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::map::FaultMap;
+use killi_sim::gpu::{GpuConfig, GpuSim};
+use killi_sim::stats::SimStats;
+use killi_workloads::{TraceParams, Workload};
+
+use crate::schemes::SchemeSpec;
+
+/// Matrix configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixConfig {
+    /// Operations per CU stream.
+    pub ops_per_cu: usize,
+    /// Seed for fault maps and traces.
+    pub seed: u64,
+    /// Low-voltage operating point for the protected schemes.
+    pub vdd: NormVdd,
+    /// GPU hardware configuration.
+    pub gpu: GpuConfig,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl MatrixConfig {
+    /// The paper's configuration at 0.625 x VDD.
+    pub fn paper(ops_per_cu: usize, seed: u64) -> Self {
+        MatrixConfig {
+            ops_per_cu,
+            seed,
+            vdd: NormVdd::LV_0_625,
+            gpu: GpuConfig::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// One cell of the experiment matrix.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scheme label.
+    pub scheme: String,
+    /// Run statistics.
+    pub stats: SimStats,
+    /// Disabled-line count at end of run.
+    pub disabled_lines: u64,
+}
+
+/// Runs one (workload, scheme) cell.
+pub fn run_one(
+    workload: Workload,
+    spec: SchemeSpec,
+    config: &MatrixConfig,
+    map: &Arc<FaultMap>,
+) -> RunResult {
+    let lines = config.gpu.l2.lines();
+    let ways = config.gpu.l2.ways;
+    let protection = spec.build(map, lines, ways);
+    let mut sim = GpuSim::new(config.gpu, Arc::clone(map), protection, config.seed);
+    let params = TraceParams {
+        cus: config.gpu.cus,
+        ops_per_cu: config.ops_per_cu,
+        seed: config.seed,
+        l2_bytes: config.gpu.l2.size_bytes,
+    };
+    let stats = sim.run(workload.trace(&params));
+    let disabled = sim.l2().protection().protection_stats().disabled_lines;
+    RunResult {
+        workload: workload.name(),
+        scheme: spec.label(),
+        stats,
+        disabled_lines: disabled,
+    }
+}
+
+/// Runs the full (workload x scheme) matrix, plus the fault-free baseline
+/// for every workload, in parallel. Results preserve matrix order:
+/// baselines first, then workload-major over `schemes`.
+pub fn run_matrix(
+    workloads: &[Workload],
+    schemes: &[SchemeSpec],
+    config: &MatrixConfig,
+) -> Vec<RunResult> {
+    let lines = config.gpu.l2.lines();
+    let model = CellFailureModel::finfet14();
+    let lv_map = Arc::new(FaultMap::build(
+        lines,
+        &model,
+        config.vdd,
+        FreqGhz::PEAK,
+        config.seed,
+    ));
+    let free_map = Arc::new(FaultMap::fault_free(lines));
+
+    let mut jobs: Vec<(Workload, SchemeSpec)> = Vec::new();
+    for &w in workloads {
+        jobs.push((w, SchemeSpec::Baseline));
+    }
+    for &w in workloads {
+        for &s in schemes {
+            jobs.push((w, s));
+        }
+    }
+
+    let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let results = Arc::new(results);
+    let jobs = Arc::new(jobs);
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.threads.max(1) {
+            let jobs = Arc::clone(&jobs);
+            let results = Arc::clone(&results);
+            let next = Arc::clone(&next);
+            let lv_map = Arc::clone(&lv_map);
+            let free_map = Arc::clone(&free_map);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (w, s) = jobs[i];
+                let map = if s.is_baseline() { &free_map } else { &lv_map };
+                let r = run_one(w, s, config, map);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+
+    Arc::try_unwrap(results)
+        .expect("all workers joined")
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every job ran"))
+        .collect()
+}
+
+/// Convenience lookup: the baseline result for a workload.
+///
+/// # Panics
+///
+/// Panics when the workload has no baseline run; use [`try_baseline_of`]
+/// for partial result sets.
+pub fn baseline_of<'a>(results: &'a [RunResult], workload: &str) -> &'a RunResult {
+    try_baseline_of(results, workload).expect("baseline run present")
+}
+
+/// Non-panicking baseline lookup for partial result sets.
+pub fn try_baseline_of<'a>(results: &'a [RunResult], workload: &str) -> Option<&'a RunResult> {
+    results
+        .iter()
+        .find(|r| r.workload == workload && r.scheme == "baseline")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use killi_sim::cache::CacheGeometry;
+
+    fn tiny_config() -> MatrixConfig {
+        MatrixConfig {
+            ops_per_cu: 3000,
+            seed: 7,
+            vdd: NormVdd(0.625),
+            gpu: GpuConfig {
+                cus: 2,
+                l2: CacheGeometry {
+                    size_bytes: 128 * 1024,
+                    ways: 16,
+                    line_bytes: 64,
+                },
+                l2_banks: 4,
+                mem_latency: 100,
+                ..GpuConfig::default()
+            },
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn matrix_runs_and_orders_results() {
+        let config = tiny_config();
+        let results = run_matrix(
+            &[Workload::Hacc, Workload::Xsbench],
+            &[SchemeSpec::Flair, SchemeSpec::Killi(16)],
+            &config,
+        );
+        assert_eq!(results.len(), 2 + 2 * 2);
+        assert_eq!(results[0].scheme, "baseline");
+        let base = baseline_of(&results, "xsbench");
+        assert!(base.stats.cycles > 0);
+        for r in &results {
+            assert!(r.stats.instructions > 0, "{}/{}", r.workload, r.scheme);
+            // Killi's masked-fault hazard (§5.6.2) allows a tiny SDC rate at
+            // this aggressive voltage; anything beyond a handful would be a
+            // protection bug.
+            assert!(
+                r.stats.sdc_events <= 5,
+                "{}/{}: {} SDCs",
+                r.workload,
+                r.scheme,
+                r.stats.sdc_events
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_is_deterministic_across_thread_counts() {
+        let mut c1 = tiny_config();
+        c1.threads = 1;
+        let mut c4 = tiny_config();
+        c4.threads = 4;
+        let a = run_matrix(&[Workload::Fft], &[SchemeSpec::Killi(32)], &c1);
+        let b = run_matrix(&[Workload::Fft], &[SchemeSpec::Killi(32)], &c4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.stats, y.stats, "{}/{}", x.workload, x.scheme);
+        }
+    }
+
+    #[test]
+    fn inverted_write_check_eliminates_sdcs_at_operating_point() {
+        // §5.6.2: at the paper's 0.625 x VDD operating point, verifying
+        // both polarities at install time exposes every masked stuck-at
+        // fault — no silent corruption remains.
+        let results = run_matrix(
+            &[Workload::Xsbench, Workload::Fft],
+            &[SchemeSpec::KilliInverted(16)],
+            &tiny_config(),
+        );
+        for r in results.iter().filter(|r| r.scheme != "baseline") {
+            assert_eq!(r.stats.sdc_events, 0, "{}/{}", r.workload, r.scheme);
+        }
+    }
+
+    #[test]
+    fn inverted_write_check_reduces_sdcs_at_extreme_voltage() {
+        // Far below the operating range, >= 3-fault lines can alias SECDED
+        // into parity-consistent miscorrections (the paper's own coverage
+        // analysis allows this: Figure 6 is < 100 % there). The inverted
+        // check must still do no worse than plain Killi and keep the
+        // residual rate tiny.
+        let mut config = tiny_config();
+        config.vdd = NormVdd(0.55);
+        let results = run_matrix(
+            &[Workload::Fft],
+            &[SchemeSpec::Killi(16), SchemeSpec::KilliInverted(16)],
+            &config,
+        );
+        let sdc = |scheme: &str| {
+            results
+                .iter()
+                .find(|r| r.scheme == scheme)
+                .unwrap()
+                .stats
+                .sdc_events
+        };
+        assert!(
+            sdc("killi-invchk-1:16") <= sdc("killi-1:16"),
+            "inverted check made things worse"
+        );
+        assert!(sdc("killi-invchk-1:16") <= 2);
+    }
+
+    #[test]
+    fn protected_schemes_never_run_faster_than_baseline_much() {
+        let config = tiny_config();
+        let results = run_matrix(&[Workload::Hacc], &[SchemeSpec::Killi(16)], &config);
+        let base = baseline_of(&results, "hacc");
+        let killi = results
+            .iter()
+            .find(|r| r.scheme == "killi-1:16")
+            .unwrap();
+        let norm = killi.stats.normalized_time(&base.stats);
+        assert!(norm >= 0.99, "norm = {norm}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Scheme factory shared by every experiment binary.
+
+use std::sync::Arc;
+
+use killi::scheme::{KilliConfig, KilliScheme};
+use killi_baselines::flair_online::FlairOnline;
+use killi_baselines::msecc::MsEcc;
+use killi_baselines::per_line::PerLineEcc;
+use killi_fault::map::FaultMap;
+use killi_sim::protection::{LineProtection, Unprotected};
+
+/// Every protection configuration the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeSpec {
+    /// Fault-free cache at nominal VDD.
+    Baseline,
+    /// DEC-TED per line (pre-characterized).
+    Dected,
+    /// FLAIR steady state: SECDED per line (pre-characterized).
+    Flair,
+    /// FLAIR with its online DMR/MBIST training phase (ablation).
+    FlairOnline,
+    /// MS-ECC (OLSC per line).
+    MsEcc,
+    /// Killi at an ECC-cache ratio of 1:N.
+    Killi(usize),
+    /// Killi with a §4.4 optimization disabled (ablations).
+    KilliAblation(KilliAblation),
+    /// Killi with the §5.2 DEC-TED upgrade enabled (ratio 1:N).
+    KilliDected(usize),
+    /// Killi with the §5.6.2 inverted-write check enabled (ratio 1:N).
+    KilliInverted(usize),
+    /// Killi with OLSC in its ECC cache (§5.5 low-Vmin variant, ratio 1:N).
+    KilliOlsc(usize),
+}
+
+/// Which §4.4 optimization an ablation run disables (all at ratio 1:64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KilliAblation {
+    /// Plain LRU victim selection instead of `b'01 > b'00 > b'10`.
+    NoVictimPriority,
+    /// No classification on eviction.
+    NoEvictionTraining,
+    /// No coordinated ECC-cache promotion.
+    NoPromotion,
+}
+
+impl SchemeSpec {
+    /// The Figure 4/5 comparison set.
+    pub fn figure4_set() -> Vec<SchemeSpec> {
+        vec![
+            SchemeSpec::Dected,
+            SchemeSpec::Flair,
+            SchemeSpec::MsEcc,
+            SchemeSpec::Killi(256),
+            SchemeSpec::Killi(128),
+            SchemeSpec::Killi(64),
+            SchemeSpec::Killi(32),
+            SchemeSpec::Killi(16),
+        ]
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeSpec::Baseline => "baseline".into(),
+            SchemeSpec::Dected => "dected".into(),
+            SchemeSpec::Flair => "flair".into(),
+            SchemeSpec::FlairOnline => "flair-online".into(),
+            SchemeSpec::MsEcc => "ms-ecc".into(),
+            SchemeSpec::Killi(r) => format!("killi-1:{r}"),
+            SchemeSpec::KilliAblation(a) => match a {
+                KilliAblation::NoVictimPriority => "killi-no-victim-prio".into(),
+                KilliAblation::NoEvictionTraining => "killi-no-evict-train".into(),
+                KilliAblation::NoPromotion => "killi-no-promotion".into(),
+            },
+            SchemeSpec::KilliDected(r) => format!("killi-dected-1:{r}"),
+            SchemeSpec::KilliInverted(r) => format!("killi-invchk-1:{r}"),
+            SchemeSpec::KilliOlsc(r) => format!("killi-olsc-1:{r}"),
+        }
+    }
+
+    /// True when the scheme runs on the fault-free nominal-VDD map.
+    pub fn is_baseline(&self) -> bool {
+        matches!(self, SchemeSpec::Baseline)
+    }
+
+    /// Builds the protection scheme for an L2 of `lines` x `ways`.
+    pub fn build(
+        &self,
+        map: &Arc<FaultMap>,
+        lines: usize,
+        ways: usize,
+    ) -> Box<dyn LineProtection> {
+        match *self {
+            SchemeSpec::Baseline => Box::new(Unprotected::new()),
+            SchemeSpec::Dected => Box::new(PerLineEcc::dected_per_line(Arc::clone(map), lines)),
+            SchemeSpec::Flair => Box::new(PerLineEcc::flair(Arc::clone(map), lines)),
+            SchemeSpec::FlairOnline => Box::new(FlairOnline::new(
+                Arc::clone(map),
+                lines,
+                ways,
+                (lines as u64) * 4, // one MBIST round per 4x cache sweeps
+            )),
+            SchemeSpec::MsEcc => Box::new(MsEcc::new(Arc::clone(map), lines)),
+            SchemeSpec::Killi(ratio) => Box::new(KilliScheme::new(
+                KilliConfig::with_ratio(ratio),
+                Arc::clone(map),
+                lines,
+                ways,
+            )),
+            SchemeSpec::KilliAblation(which) => {
+                let mut config = KilliConfig::with_ratio(64);
+                match which {
+                    KilliAblation::NoVictimPriority => config.victim_priority = false,
+                    KilliAblation::NoEvictionTraining => config.eviction_training = false,
+                    KilliAblation::NoPromotion => config.coordinated_promotion = false,
+                }
+                Box::new(KilliScheme::new(config, Arc::clone(map), lines, ways))
+            }
+            SchemeSpec::KilliDected(ratio) => {
+                let mut config = KilliConfig::with_ratio(ratio);
+                config.dected_upgrade = true;
+                Box::new(KilliScheme::new(config, Arc::clone(map), lines, ways))
+            }
+            SchemeSpec::KilliInverted(ratio) => {
+                let mut config = KilliConfig::with_ratio(ratio);
+                config.inverted_write_check = true;
+                Box::new(KilliScheme::new(config, Arc::clone(map), lines, ways))
+            }
+            SchemeSpec::KilliOlsc(ratio) => Box::new(KilliScheme::new(
+                KilliConfig::with_olsc(ratio),
+                Arc::clone(map),
+                lines,
+                ways,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = SchemeSpec::figure4_set()
+            .iter()
+            .map(SchemeSpec::label)
+            .collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), SchemeSpec::figure4_set().len());
+    }
+
+    #[test]
+    fn every_spec_builds() {
+        let map = Arc::new(FaultMap::fault_free(1024));
+        for spec in [
+            SchemeSpec::Baseline,
+            SchemeSpec::Dected,
+            SchemeSpec::Flair,
+            SchemeSpec::FlairOnline,
+            SchemeSpec::MsEcc,
+            SchemeSpec::Killi(16),
+            SchemeSpec::KilliAblation(KilliAblation::NoVictimPriority),
+            SchemeSpec::KilliDected(16),
+            SchemeSpec::KilliInverted(16),
+            SchemeSpec::KilliOlsc(16),
+        ] {
+            let s = spec.build(&map, 1024, 16);
+            assert!(!s.name().is_empty(), "{spec:?}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal flag parsing for the CLI (no external dependencies: the
+//! workspace's only third-party crates are rand/proptest/criterion).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+}
+
+/// A flag parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (exclusive of the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a flag without a value or a stray positional
+    /// after the command.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                out.flags.insert(name.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(ArgError(format!("unexpected argument '{a}'")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads a flag, falling back to `default`.
+    pub fn get_or(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Reads and parses a numeric flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse as `T`.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: '{v}' is not a valid number"))),
+        }
+    }
+
+    /// True when the flag is present (any value).
+    #[allow(dead_code)] // part of the flag-parsing API; used by tests
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["simulate", "--vdd", "0.6", "--ops", "1000"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.get_or("vdd", "0.625"), "0.6");
+        assert_eq!(a.get_num::<usize>("ops", 0).unwrap(), 1000);
+        assert_eq!(a.get_num::<u64>("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["x", "--vdd"]).is_err());
+    }
+
+    #[test]
+    fn stray_positional_is_an_error() {
+        assert!(parse(&["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse(&["x", "--ops", "many"]).unwrap();
+        assert!(a.get_num::<usize>("ops", 0).is_err());
+    }
+
+    #[test]
+    fn has_detects_presence() {
+        let a = parse(&["x", "--verbose", "1"]).unwrap();
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+}

@@ -1,0 +1,368 @@
+//! `killi` — command-line interface to the Killi low-voltage cache toolkit.
+//!
+//! ```text
+//! killi coverage  [--vdd 0.6]
+//! killi area      [--ratio 64] [--code secded|dected|tecqed|6ec7ed]
+//! killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
+//! killi simulate  [--workload xsbench] [--scheme killi] [--ratio 64]
+//!                 [--vdd 0.625] [--ops 100000] [--seed 42]
+//! killi sweep     [--workload pennant] [--ratio 64] [--ops 50000]
+//! killi record    --out trace.ktrc [--workload fft] [--ops 100000]
+//! killi replay    --in trace.ktrc [--scheme killi] [--vdd 0.625]
+//! killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use args::{ArgError, Args};
+use killi::scheme::{KilliConfig, KilliScheme};
+use killi_bench::report::Table;
+use killi_bench::runner::{baseline_of, run_matrix, MatrixConfig};
+use killi_bench::schemes::SchemeSpec;
+use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::line_stats::LineFaultDistribution;
+use killi_fault::map::FaultMap;
+use killi_model::area::{checkbits, AreaModel};
+use killi_model::coverage::coverage_at;
+use killi_sim::gpu::{GpuConfig, GpuSim};
+use killi_workloads::{TraceParams, Workload};
+
+const USAGE: &str = "\
+killi-cli — low-voltage cache toolkit (reproduction of HPCA'19 'Killi')
+
+USAGE:
+  killi coverage  [--vdd 0.6]
+  killi area      [--ratio 64] [--code secded|dected|tecqed|6ec7ed]
+  killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
+  killi simulate  [--workload xsbench] [--scheme killi|dected|flair|ms-ecc]
+                  [--ratio 64] [--vdd 0.625] [--ops 100000] [--seed 42]
+  killi sweep     [--workload pennant] [--ratio 64] [--ops 50000]
+  killi record    --out trace.ktrc [--workload fft] [--ops 100000] [--seed 42]
+  killi replay    --in trace.ktrc  [--scheme killi] [--ratio 64] [--vdd 0.625]
+  killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("coverage") => cmd_coverage(&args),
+        Some("area") => cmd_area(&args),
+        Some("faultmap") => cmd_faultmap(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("record") => cmd_record(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("profile") => cmd_profile(&args),
+        Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
+        None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_coverage(args: &Args) -> Result<(), ArgError> {
+    let vdd = args.get_num("vdd", 0.6f64)?;
+    let model = CellFailureModel::finfet14();
+    let c = coverage_at(&model, NormVdd(vdd));
+    let mut t = Table::new(vec!["technique", "coverage"]);
+    for (name, v) in [
+        ("16-bit parity", c.parity16),
+        ("SECDED", c.secded),
+        ("DECTED", c.dected),
+        ("MS-ECC", c.msecc),
+        ("FLAIR (training)", c.flair),
+        ("Killi", c.killi),
+    ] {
+        t.row(vec![name.to_string(), format!("{:.6}%", v * 100.0)]);
+    }
+    println!("classification coverage at {vdd} x VDD:\n{}", t.render());
+    Ok(())
+}
+
+fn cmd_area(args: &Args) -> Result<(), ArgError> {
+    let ratio: usize = args.get_num("ratio", 64)?;
+    let code = args.get_or("code", "secded");
+    let bits = match code.as_str() {
+        "secded" => checkbits::SECDED,
+        "dected" => checkbits::DECTED,
+        "tecqed" => checkbits::TECQED,
+        "6ec7ed" => checkbits::SIX_EC,
+        other => return Err(ArgError(format!("unknown code '{other}'"))),
+    };
+    let m = AreaModel::paper();
+    let killi = m.killi_bits(ratio, bits);
+    println!(
+        "Killi at 1:{ratio} with {code} in the ECC cache over a 2 MB L2:\n\
+         - added storage: {:.2} KiB ({} entries x {} bits + 6 bits/line)\n\
+         - {:.2}x the per-line SECDED baseline\n\
+         - {:.2}% of the L2 data array",
+        AreaModel::kib(killi),
+        32768 / ratio,
+        m.ecc_entry_bits(bits),
+        m.ratio_to_secded(killi),
+        m.fraction_of_l2(killi) * 100.0,
+    );
+    Ok(())
+}
+
+fn cmd_faultmap(args: &Args) -> Result<(), ArgError> {
+    let vdd = args.get_num("vdd", 0.625f64)?;
+    let lines: usize = args.get_num("lines", 32768)?;
+    let seed: u64 = args.get_num("seed", 42)?;
+    let model = CellFailureModel::finfet14();
+    let map = FaultMap::build(lines, &model, NormVdd(vdd), FreqGhz::PEAK, seed);
+    let measured = LineFaultDistribution::measured(&map);
+    let hist = map.data_fault_histogram(13);
+    println!(
+        "fault map: {lines} lines at {vdd} x VDD, seed {seed}\n\
+         zero faults: {:.2}%   one: {:.2}%   two-plus: {:.2}%",
+        measured.zero * 100.0,
+        measured.one * 100.0,
+        measured.two_plus * 100.0
+    );
+    let mut t = Table::new(vec!["faults/line", "lines"]);
+    for (k, &n) in hist.iter().enumerate() {
+        if n > 0 {
+            let label = if k == hist.len() - 1 {
+                format!("{k}+")
+            } else {
+                k.to_string()
+            };
+            t.row(vec![label, n.to_string()]);
+        }
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn parse_workload(name: &str) -> Result<Workload, ArgError> {
+    Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+            ArgError(format!(
+                "unknown workload '{name}' (choose from {})",
+                names.join(", ")
+            ))
+        })
+}
+
+fn parse_scheme(name: &str, ratio: usize) -> Result<SchemeSpec, ArgError> {
+    Ok(match name {
+        "killi" => SchemeSpec::Killi(ratio),
+        "killi-dected" => SchemeSpec::KilliDected(ratio),
+        "killi-invchk" => SchemeSpec::KilliInverted(ratio),
+        "killi-olsc" => SchemeSpec::KilliOlsc(ratio),
+        "dected" => SchemeSpec::Dected,
+        "flair" => SchemeSpec::Flair,
+        "flair-online" => SchemeSpec::FlairOnline,
+        "ms-ecc" => SchemeSpec::MsEcc,
+        other => return Err(ArgError(format!("unknown scheme '{other}'"))),
+    })
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
+    let workload = parse_workload(&args.get_or("workload", "xsbench"))?;
+    let ratio: usize = args.get_num("ratio", 64)?;
+    let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
+    let vdd = args.get_num("vdd", 0.625f64)?;
+    let ops: usize = args.get_num("ops", 100_000)?;
+    let seed: u64 = args.get_num("seed", 42)?;
+
+    let mut config = MatrixConfig::paper(ops, seed);
+    config.vdd = NormVdd(vdd);
+    let results = run_matrix(&[workload], &[spec], &config);
+    let base = baseline_of(&results, workload.name());
+    let r = results
+        .iter()
+        .find(|r| r.scheme != "baseline")
+        .expect("scheme result");
+    println!(
+        "{} / {} at {vdd} x VDD ({} ops/CU, seed {seed}):",
+        r.workload, r.scheme, ops
+    );
+    println!(
+        "  cycles            {:>12}  ({:.4}x the fault-free baseline)",
+        r.stats.cycles,
+        r.stats.normalized_time(&base.stats)
+    );
+    println!("  L2 MPKI           {:>12.2}", r.stats.mpki());
+    println!("  error misses      {:>12}", r.stats.l2_error_misses);
+    println!("  corrections       {:>12}", r.stats.corrections);
+    println!("  disabled lines    {:>12}", r.disabled_lines);
+    println!("  silent corruption {:>12}", r.stats.sdc_events);
+    Ok(())
+}
+
+fn io_err(e: std::io::Error) -> ArgError {
+    ArgError(e.to_string())
+}
+
+fn cmd_record(args: &Args) -> Result<(), ArgError> {
+    let workload = parse_workload(&args.get_or("workload", "fft"))?;
+    let ops: usize = args.get_num("ops", 100_000)?;
+    let seed: u64 = args.get_num("seed", 42)?;
+    let out = args.get_or("out", "");
+    if out.is_empty() {
+        return Err(ArgError("record needs --out <file>".into()));
+    }
+    let trace = workload.trace(&TraceParams::paper(ops, seed));
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&out).map_err(io_err)?);
+    killi_sim::tracefile::save(trace, &mut file).map_err(io_err)?;
+    use std::io::Write as _;
+    file.flush().map_err(io_err)?;
+    let bytes = std::fs::metadata(&out).map_err(io_err)?.len();
+    println!(
+        "recorded {} ({} ops/CU x 8 CUs, seed {seed}) to {out} ({bytes} bytes)",
+        workload.name(),
+        ops
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), ArgError> {
+    let input = args.get_or("in", "");
+    if input.is_empty() {
+        return Err(ArgError("replay needs --in <file>".into()));
+    }
+    let ratio: usize = args.get_num("ratio", 64)?;
+    let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
+    let vdd = args.get_num("vdd", 0.625f64)?;
+    let seed: u64 = args.get_num("seed", 42)?;
+
+    let mut file = std::io::BufReader::new(std::fs::File::open(&input).map_err(io_err)?);
+    let trace = killi_sim::tracefile::load(&mut file).map_err(io_err)?;
+    let config = GpuConfig {
+        cus: trace.cus(),
+        ..GpuConfig::default()
+    };
+    let model = CellFailureModel::finfet14();
+    let map = Arc::new(FaultMap::build(
+        config.l2.lines(),
+        &model,
+        NormVdd(vdd),
+        FreqGhz::PEAK,
+        seed,
+    ));
+    let protection = spec.build(&map, config.l2.lines(), config.l2.ways);
+    let mut sim = GpuSim::new(config, map, protection, seed);
+    let stats = sim.run(trace);
+    println!(
+        "replayed {input} under {} at {vdd} x VDD:",
+        spec.label()
+    );
+    println!("  cycles       {:>12}", stats.cycles);
+    println!("  L2 MPKI      {:>12.2}", stats.mpki());
+    println!("  error misses {:>12}", stats.l2_error_misses);
+    println!("  corrections  {:>12}", stats.corrections);
+    println!("  SDC events   {:>12}", stats.sdc_events);
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), ArgError> {
+    use killi_workloads::analysis::TraceProfile;
+    let input = args.get_or("in", "");
+    let profile = if input.is_empty() {
+        let workload = parse_workload(&args.get_or("workload", "fft"))?;
+        let ops: usize = args.get_num("ops", 100_000)?;
+        let seed: u64 = args.get_num("seed", 42)?;
+        println!("profile of generated {} ({} ops/CU):", workload.name(), ops);
+        TraceProfile::of(workload.trace(&TraceParams::paper(ops, seed)))
+    } else {
+        let mut file = std::io::BufReader::new(std::fs::File::open(&input).map_err(io_err)?);
+        println!("profile of {input}:");
+        TraceProfile::of(killi_sim::tracefile::load(&mut file).map_err(io_err)?)
+    };
+    println!("  CUs                 {:>12}", profile.cus);
+    println!("  operations          {:>12}", profile.ops);
+    println!("  instructions        {:>12}", profile.instructions);
+    println!("  loads / stores      {:>6} / {}", profile.loads, profile.stores);
+    println!(
+        "  footprint           {:>9.2} MiB ({} lines)",
+        profile.footprint_bytes as f64 / 1024.0 / 1024.0,
+        profile.footprint_lines
+    );
+    println!("  mean reuse          {:>12.2}", profile.mean_reuse);
+    println!("  write share         {:>11.1}%", profile.write_share * 100.0);
+    println!("  compute per access  {:>12.2}", profile.compute_per_access);
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
+    let workload = parse_workload(&args.get_or("workload", "pennant"))?;
+    let ratio: usize = args.get_num("ratio", 64)?;
+    let ops: usize = args.get_num("ops", 50_000)?;
+    let seed: u64 = args.get_num("seed", 42)?;
+
+    let config = GpuConfig::default();
+    let model = CellFailureModel::finfet14();
+    let params = TraceParams {
+        cus: config.cus,
+        ops_per_cu: ops,
+        seed,
+        l2_bytes: config.l2.size_bytes,
+    };
+    let baseline = {
+        let map = Arc::new(FaultMap::fault_free(config.l2.lines()));
+        let killi = KilliScheme::new(
+            KilliConfig::with_ratio(ratio),
+            Arc::clone(&map),
+            config.l2.lines(),
+            config.l2.ways,
+        );
+        let mut sim = GpuSim::new(config, map, Box::new(killi), seed);
+        sim.run(workload.trace(&params))
+    };
+    let mut t = Table::new(vec!["vdd", "norm.time", "mpki", "disabled", "sdc"]);
+    for v in [0.675, 0.65, 0.625, 0.6, 0.575, 0.55] {
+        let map = Arc::new(FaultMap::build(
+            config.l2.lines(),
+            &model,
+            NormVdd(v),
+            FreqGhz::PEAK,
+            seed,
+        ));
+        let killi = KilliScheme::new(
+            KilliConfig::with_ratio(ratio),
+            Arc::clone(&map),
+            config.l2.lines(),
+            config.l2.ways,
+        );
+        let mut sim = GpuSim::new(config, map, Box::new(killi), seed);
+        let stats = sim.run(workload.trace(&params));
+        let disabled = sim.l2().protection().protection_stats().disabled_lines;
+        t.row(vec![
+            format!("{v}"),
+            format!("{:.4}", stats.cycles as f64 / baseline.cycles as f64),
+            format!("{:.2}", stats.mpki()),
+            disabled.to_string(),
+            stats.sdc_events.to_string(),
+        ]);
+    }
+    println!(
+        "Killi 1:{ratio} voltage sweep on {} ({} ops/CU):\n{}",
+        workload.name(),
+        ops,
+        t.render()
+    );
+    Ok(())
+}

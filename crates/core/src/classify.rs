@@ -1,0 +1,443 @@
+//! The Table 2 state-transition logic as a pure function.
+//!
+//! Killi's cache controller observes three signals on every checked access:
+//! segmented parity (match / one segment / multiple segments), the SECDED
+//! syndrome (zero / non-zero) and the SECDED global parity (match /
+//! mismatch), and derives the next DFH state plus an action. Keeping this a
+//! pure function of the observables makes the paper's table directly
+//! testable row by row.
+//!
+//! Table 2 does not enumerate every observable combination; the unlisted
+//! ones (reachable only through faults in the parity storage cells
+//! themselves, or odd aliasing) are resolved conservatively and documented
+//! inline.
+
+use killi_ecc::parity::SegObservation;
+use killi_ecc::secded::{SecdedDecode, SecdedObservation};
+
+use crate::dfh::Dfh;
+
+/// What the controller does after classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver the line (correcting `correct_bit` first if set).
+    SendClean {
+        /// Next DFH state.
+        next: Dfh,
+        /// Data bit to flip before delivery (a SECDED single-bit
+        /// correction).
+        correct_bit: Option<usize>,
+    },
+    /// Signal an error-induced cache miss: invalidate the line, refetch
+    /// from memory (write-through makes this always safe).
+    ErrorMiss {
+        /// Next DFH state.
+        next: Dfh,
+    },
+}
+
+impl Verdict {
+    /// The next DFH state of either verdict.
+    pub fn next_dfh(&self) -> Dfh {
+        match *self {
+            Verdict::SendClean { next, .. } | Verdict::ErrorMiss { next } => next,
+        }
+    }
+}
+
+/// Classifies a read of a `b'00` (stable fault-free) line, which is
+/// protected by 4-bit parity only (Table 2 rows 1-3).
+pub fn classify_stable0(seg: SegObservation) -> Verdict {
+    match seg {
+        // "No error" — the overwhelmingly common case.
+        SegObservation::Match => Verdict::SendClean {
+            next: Dfh::Stable0,
+            correct_bit: None,
+        },
+        // "1-bit error discovered after training; initial classification
+        // incorrect" — back to the initial state and relearn.
+        SegObservation::OneSegment(_) => Verdict::ErrorMiss { next: Dfh::Unknown },
+        // "Multi-bit error discovered after training" — disable.
+        SegObservation::MultiSegment(_) => Verdict::ErrorMiss {
+            next: Dfh::Disabled,
+        },
+    }
+}
+
+/// Classifies a read of a `b'01` (initial/unknown) line, protected by
+/// 16-bit parity plus SECDED (Table 2 rows 4-8).
+pub fn classify_unknown(
+    seg: SegObservation,
+    ecc: SecdedObservation,
+    decode: SecdedDecode,
+) -> Verdict {
+    let syn_ok = ecc.syndrome_zero();
+    let gp_ok = !ecc.parity_mismatch;
+    match (seg, syn_ok, gp_ok) {
+        // Row 4: all clean -> fault-free, free the ECC entry.
+        (SegObservation::Match, true, true) => Verdict::SendClean {
+            next: Dfh::Stable0,
+            correct_bit: None,
+        },
+        // Row 5: one segment + non-zero syndrome + parity mismatch ->
+        // single-bit LV error, correct with the checkbits.
+        (SegObservation::OneSegment(seg), false, false) => match decode {
+            // Cross-check the two detectors: a genuine single-bit error
+            // must lie in the very segment parity flagged. A mismatch means
+            // a >= 3-error pattern aliased to a correctable syndrome
+            // (SECDED miscorrection) — disable instead of corrupting data.
+            SecdedDecode::CorrectedData { bit } if bit % 16 == seg as usize => {
+                Verdict::SendClean {
+                    next: Dfh::Stable1,
+                    correct_bit: Some(bit),
+                }
+            }
+            SecdedDecode::CorrectedData { .. } => Verdict::ErrorMiss {
+                next: Dfh::Disabled,
+            },
+            SecdedDecode::CorrectedCheck => Verdict::SendClean {
+                next: Dfh::Stable1,
+                correct_bit: None,
+            },
+            // Syndrome points outside the codeword: actually multi-bit.
+            _ => Verdict::ErrorMiss {
+                next: Dfh::Disabled,
+            },
+        },
+        // Row 6: "multi-bit error" — ECC sees an even (>= 2) error count.
+        (SegObservation::Match | SegObservation::MultiSegment(_), false, true) => {
+            Verdict::ErrorMiss {
+                next: Dfh::Disabled,
+            }
+        }
+        // Rows 7/8: two or more mismatching segments -> disable regardless
+        // of what the (possibly aliased) syndrome claims.
+        (SegObservation::MultiSegment(_), _, _) => Verdict::ErrorMiss {
+            next: Dfh::Disabled,
+        },
+        // Unlisted (x, syndrome nonzero, parity ok): even error count per
+        // ECC with one noisy segment -> multi-bit, disable (conservative).
+        (SegObservation::OneSegment(_), false, true) => Verdict::ErrorMiss {
+            next: Dfh::Disabled,
+        },
+        // Unlisted (x, syndrome zero, parity ok): only reachable through a
+        // fault in a parity storage cell. ECC vouches for the data; keep
+        // SECDED around by classifying as one LV fault.
+        (SegObservation::OneSegment(_), true, true) => Verdict::SendClean {
+            next: Dfh::Stable1,
+            correct_bit: None,
+        },
+        // Unlisted (ok, syndrome zero, parity mismatch): an inconsistent
+        // overall-parity checkbit; data vouched for by syndrome + segment
+        // parity. Keep SECDED protection.
+        (SegObservation::Match, true, false) => Verdict::SendClean {
+            next: Dfh::Stable1,
+            correct_bit: None,
+        },
+        // Unlisted (x, syndrome zero, parity mismatch): contradictory ->
+        // disable.
+        (SegObservation::OneSegment(_), true, false) => Verdict::ErrorMiss {
+            next: Dfh::Disabled,
+        },
+        // Row 6 variant: clean segments but odd ECC evidence -> disable.
+        (SegObservation::Match, false, false) => match decode {
+            // A single error confined to a *masked* parity region cannot
+            // happen with 16 segments; a correctable syndrome with clean
+            // segment parity means the flipped bit is a checkbit cell.
+            SecdedDecode::CorrectedCheck => Verdict::SendClean {
+                next: Dfh::Stable1,
+                correct_bit: None,
+            },
+            SecdedDecode::CorrectedData { bit } => Verdict::SendClean {
+                next: Dfh::Stable1,
+                correct_bit: Some(bit),
+            },
+            _ => Verdict::ErrorMiss {
+                next: Dfh::Disabled,
+            },
+        },
+    }
+}
+
+/// Classifies a read of a `b'10` (stable one-fault) line, protected by
+/// 4-bit parity plus SECDED (Table 2 rows 9-13).
+pub fn classify_stable1(
+    seg: SegObservation,
+    ecc: SecdedObservation,
+    decode: SecdedDecode,
+) -> Verdict {
+    let syn_ok = ecc.syndrome_zero();
+    let gp_ok = !ecc.parity_mismatch;
+    match (seg, syn_ok, gp_ok) {
+        // Row 9: everything clean — the original "fault" was a non-LV
+        // transient that has since been overwritten. Reclassify fault-free.
+        (SegObservation::Match, true, true) => Verdict::SendClean {
+            next: Dfh::Stable0,
+            correct_bit: None,
+        },
+        // Row 10: parity complains but ECC is clean — an error pattern ECC
+        // cannot see on a line already known faulty. Disable.
+        (SegObservation::OneSegment(_) | SegObservation::MultiSegment(_), true, true) => {
+            Verdict::ErrorMiss {
+                next: Dfh::Disabled,
+            }
+        }
+        // Row 11: the paper marks segments "don't care" here — the
+        // expected single-bit LV error; correct and stay. We add one
+        // zero-cost refinement: if the 4-bit quarter parity flags a
+        // *different* quarter than the bit SECDED wants to flip (or flags
+        // several), the observables contradict a single-error hypothesis
+        // (a >= 3-error SECDED alias) and the line is disabled instead of
+        // silently miscorrected.
+        (seg, false, false) => match decode {
+            SecdedDecode::CorrectedData { bit } => {
+                let consistent = match seg {
+                    SegObservation::Match => true, // LV fault currently masked
+                    SegObservation::OneSegment(q) => bit % 4 == q as usize,
+                    SegObservation::MultiSegment(_) => false,
+                };
+                if consistent {
+                    Verdict::SendClean {
+                        next: Dfh::Stable1,
+                        correct_bit: Some(bit),
+                    }
+                } else {
+                    Verdict::ErrorMiss {
+                        next: Dfh::Disabled,
+                    }
+                }
+            }
+            SecdedDecode::CorrectedCheck => Verdict::SendClean {
+                next: Dfh::Stable1,
+                correct_bit: None,
+            },
+            _ => Verdict::ErrorMiss {
+                next: Dfh::Disabled,
+            },
+        },
+        // Rows 12/13: extra error on a line with an existing LV fault.
+        (SegObservation::MultiSegment(_), false, true)
+        | (SegObservation::MultiSegment(_), true, false) => Verdict::ErrorMiss {
+            next: Dfh::Disabled,
+        },
+        // Unlisted (ok or x, syndrome nonzero, parity ok): an even error
+        // count per ECC -> double error, disable.
+        (SegObservation::Match | SegObservation::OneSegment(_), false, true) => {
+            Verdict::ErrorMiss {
+                next: Dfh::Disabled,
+            }
+        }
+        // Unlisted (ok, syndrome zero, parity mismatch): inconsistent
+        // overall-parity checkbit only; data intact.
+        (SegObservation::Match, true, false) => Verdict::SendClean {
+            next: Dfh::Stable1,
+            correct_bit: None,
+        },
+        // Unlisted (x, syndrome zero, parity mismatch): contradictory ->
+        // disable.
+        (SegObservation::OneSegment(_), true, false) => Verdict::ErrorMiss {
+            next: Dfh::Disabled,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use killi_ecc::bits::Line512;
+    use killi_ecc::parity::{seg16, SegObservation};
+    use killi_ecc::secded::secded;
+
+    fn obs(data: &Line512, reference: &Line512) -> (SegObservation, SecdedObservation, SecdedDecode) {
+        let codec = secded();
+        let code = codec.encode(reference);
+        let seg = SegObservation::observe16(seg16(reference), seg16(data));
+        let ecc = codec.observe(data, code);
+        (seg, ecc, codec.interpret(ecc))
+    }
+
+    #[test]
+    fn row4_clean_unknown_goes_stable0() {
+        let d = Line512::from_seed(1);
+        let (seg, ecc, dec) = obs(&d, &d);
+        assert_eq!(
+            classify_unknown(seg, ecc, dec),
+            Verdict::SendClean {
+                next: Dfh::Stable0,
+                correct_bit: None
+            }
+        );
+    }
+
+    #[test]
+    fn row5_single_fault_corrected_goes_stable1() {
+        let clean = Line512::from_seed(2);
+        let mut faulty = clean;
+        faulty.flip_bit(123);
+        let (seg, ecc, dec) = obs(&faulty, &clean);
+        match classify_unknown(seg, ecc, dec) {
+            Verdict::SendClean {
+                next: Dfh::Stable1,
+                correct_bit: Some(bit),
+            } => assert_eq!(bit, 123),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn row6_double_fault_same_segment_disabled() {
+        // Two faults 16 apart land in the same parity segment: parity is
+        // blind, ECC catches the even count.
+        let clean = Line512::from_seed(3);
+        let mut faulty = clean;
+        faulty.flip_bit(40);
+        faulty.flip_bit(56);
+        let (seg, ecc, dec) = obs(&faulty, &clean);
+        assert_eq!(seg, SegObservation::Match, "aliased in parity");
+        assert_eq!(
+            classify_unknown(seg, ecc, dec),
+            Verdict::ErrorMiss {
+                next: Dfh::Disabled
+            }
+        );
+    }
+
+    #[test]
+    fn rows7_8_multi_segment_disabled() {
+        let clean = Line512::from_seed(4);
+        for bits in [[10usize, 11, 12].as_slice(), &[7, 100, 200, 300]] {
+            let mut faulty = clean;
+            for &b in bits {
+                faulty.flip_bit(b);
+            }
+            let (seg, ecc, dec) = obs(&faulty, &clean);
+            assert!(matches!(seg, SegObservation::MultiSegment(_)));
+            assert_eq!(
+                classify_unknown(seg, ecc, dec).next_dfh(),
+                Dfh::Disabled,
+                "bits {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn row9_stable1_recovers_to_stable0() {
+        let d = Line512::from_seed(5);
+        let (_, ecc, dec) = obs(&d, &d);
+        assert_eq!(
+            classify_stable1(SegObservation::Match, ecc, dec),
+            Verdict::SendClean {
+                next: Dfh::Stable0,
+                correct_bit: None
+            }
+        );
+    }
+
+    #[test]
+    fn row10_parity_only_error_on_stable1_disables() {
+        let d = Line512::from_seed(6);
+        let (_, ecc, dec) = obs(&d, &d); // clean ECC view
+        let v = classify_stable1(SegObservation::OneSegment(3), ecc, dec);
+        assert_eq!(
+            v,
+            Verdict::ErrorMiss {
+                next: Dfh::Disabled
+            }
+        );
+    }
+
+    #[test]
+    fn row11_single_error_on_stable1_corrected_in_place() {
+        let clean = Line512::from_seed(7);
+        let mut faulty = clean;
+        faulty.flip_bit(77);
+        let (_, ecc, dec) = obs(&faulty, &clean);
+        // 77 % 4 == 1: the flagged segment matches the corrected bit.
+        match classify_stable1(SegObservation::OneSegment(1), ecc, dec) {
+            Verdict::SendClean {
+                next: Dfh::Stable1,
+                correct_bit: Some(77),
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        // Refinement: a correction pointing outside the flagged quarter is
+        // a >= 3-error alias and must disable the line.
+        assert_eq!(
+            classify_stable1(SegObservation::OneSegment(3), ecc, dec),
+            Verdict::ErrorMiss {
+                next: Dfh::Disabled
+            }
+        );
+    }
+
+    #[test]
+    fn rows12_13_extra_error_on_stable1_disables() {
+        let clean = Line512::from_seed(8);
+        let mut faulty = clean;
+        faulty.flip_bit(1);
+        faulty.flip_bit(2);
+        let (_, ecc, dec) = obs(&faulty, &clean);
+        assert!(!ecc.syndrome_zero());
+        assert!(!ecc.parity_mismatch); // double: even
+        let v = classify_stable1(SegObservation::MultiSegment(2), ecc, dec);
+        assert_eq!(v.next_dfh(), Dfh::Disabled);
+    }
+
+    #[test]
+    fn stable0_rows() {
+        assert_eq!(
+            classify_stable0(SegObservation::Match).next_dfh(),
+            Dfh::Stable0
+        );
+        assert_eq!(
+            classify_stable0(SegObservation::OneSegment(0)),
+            Verdict::ErrorMiss { next: Dfh::Unknown }
+        );
+        assert_eq!(
+            classify_stable0(SegObservation::MultiSegment(3)),
+            Verdict::ErrorMiss {
+                next: Dfh::Disabled
+            }
+        );
+    }
+
+    #[test]
+    fn parity_cell_fault_keeps_line_enabled() {
+        // Unlisted (x, syndrome 0, parity ok): a stuck parity cell. ECC
+        // vouches for the data; Killi must not lose the line's data.
+        let d = Line512::from_seed(9);
+        let (_, ecc, dec) = obs(&d, &d);
+        match classify_unknown(SegObservation::OneSegment(2), ecc, dec) {
+            Verdict::SendClean {
+                next: Dfh::Stable1, ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_observable_combination_has_a_verdict() {
+        // Exhaustiveness under arbitrary (possibly physically-unreachable)
+        // observable combinations: the controller must never panic.
+        let d = Line512::from_seed(10);
+        let codec = secded();
+        let code = codec.encode(&d);
+        let segs = [
+            SegObservation::Match,
+            SegObservation::OneSegment(0),
+            SegObservation::MultiSegment(5),
+        ];
+        for seg in segs {
+            for flip_bits in [vec![], vec![3usize], vec![3, 4], vec![3, 4, 5]] {
+                let mut data = d;
+                for &b in &flip_bits {
+                    data.flip_bit(b);
+                }
+                let ecc = codec.observe(&data, code);
+                let dec = codec.interpret(ecc);
+                let _ = classify_unknown(seg, ecc, dec);
+                let _ = classify_stable1(seg, ecc, dec);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Detected Fault History (DFH) state (Table 1 of the paper).
+//!
+//! Every L2 line carries two DFH bits in the nominal-voltage tag array. The
+//! encoding follows the paper exactly:
+//!
+//! | DFH   | state   | errors/line | protection                    |
+//! |-------|---------|-------------|-------------------------------|
+//! | `b00` | stable  | 0           | 4-bit parity                  |
+//! | `b01` | initial | unknown     | 16-bit parity + SECDED ECC    |
+//! | `b10` | stable  | 1           | 4-bit parity + SECDED ECC     |
+//! | `b11` | stable  | >= 2        | none (line disabled)          |
+
+/// The per-line Detected Fault History state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dfh {
+    /// `b'00`: classified fault-free; 4-bit parity only.
+    Stable0,
+    /// `b'01`: unknown fault count; 16-bit parity + SECDED (the reset
+    /// state).
+    #[default]
+    Unknown,
+    /// `b'10`: one LV fault; 4-bit parity + SECDED.
+    Stable1,
+    /// `b'11`: two or more faults; line disabled until the next DFH reset.
+    Disabled,
+}
+
+impl Dfh {
+    /// The two-bit hardware encoding.
+    pub fn bits(self) -> u8 {
+        match self {
+            Dfh::Stable0 => 0b00,
+            Dfh::Unknown => 0b01,
+            Dfh::Stable1 => 0b10,
+            Dfh::Disabled => 0b11,
+        }
+    }
+
+    /// Decodes the two-bit hardware encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    pub fn from_bits(bits: u8) -> Self {
+        match bits {
+            0b00 => Dfh::Stable0,
+            0b01 => Dfh::Unknown,
+            0b10 => Dfh::Stable1,
+            0b11 => Dfh::Disabled,
+            _ => panic!("invalid DFH encoding {bits:#04b}"),
+        }
+    }
+
+    /// True when the line may hold data (not disabled).
+    pub fn usable(self) -> bool {
+        self != Dfh::Disabled
+    }
+
+    /// True when the line's protection metadata lives (partly) in the ECC
+    /// cache.
+    pub fn needs_ecc_entry(self) -> bool {
+        matches!(self, Dfh::Unknown | Dfh::Stable1)
+    }
+
+    /// Killi's victim-selection priority among invalid lines
+    /// (`b'01 > b'00 > b'10`, §4.4); `None` for disabled lines.
+    pub fn victim_class(self) -> Option<u8> {
+        match self {
+            Dfh::Unknown => Some(0),
+            Dfh::Stable0 => Some(1),
+            Dfh::Stable1 => Some(2),
+            Dfh::Disabled => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for dfh in [Dfh::Stable0, Dfh::Unknown, Dfh::Stable1, Dfh::Disabled] {
+            assert_eq!(Dfh::from_bits(dfh.bits()), dfh);
+        }
+    }
+
+    #[test]
+    fn encoding_matches_table1() {
+        assert_eq!(Dfh::Stable0.bits(), 0b00);
+        assert_eq!(Dfh::Unknown.bits(), 0b01);
+        assert_eq!(Dfh::Stable1.bits(), 0b10);
+        assert_eq!(Dfh::Disabled.bits(), 0b11);
+    }
+
+    #[test]
+    fn reset_state_is_unknown() {
+        assert_eq!(Dfh::default(), Dfh::Unknown);
+    }
+
+    #[test]
+    fn usability() {
+        assert!(Dfh::Stable0.usable());
+        assert!(Dfh::Unknown.usable());
+        assert!(Dfh::Stable1.usable());
+        assert!(!Dfh::Disabled.usable());
+    }
+
+    #[test]
+    fn ecc_entry_requirement() {
+        assert!(!Dfh::Stable0.needs_ecc_entry());
+        assert!(Dfh::Unknown.needs_ecc_entry());
+        assert!(Dfh::Stable1.needs_ecc_entry());
+        assert!(!Dfh::Disabled.needs_ecc_entry());
+    }
+
+    #[test]
+    fn victim_priority_order() {
+        // b'01 > b'00 > b'10, disabled never selected.
+        assert!(Dfh::Unknown.victim_class() < Dfh::Stable0.victim_class());
+        assert!(Dfh::Stable0.victim_class() < Dfh::Stable1.victim_class());
+        assert_eq!(Dfh::Disabled.victim_class(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DFH")]
+    fn invalid_bits_panic() {
+        Dfh::from_bits(4);
+    }
+}

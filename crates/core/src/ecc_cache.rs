@@ -1,0 +1,393 @@
+//! The ECC cache: a small set-associative structure holding the error
+//! protection metadata of the subset of L2 lines that need it (§4.1).
+//!
+//! Entries are tagged by the (index, way) of the L2 line they protect — not
+//! the physical address — which keeps tags small (the paper's 41-bit entry:
+//! 11 SECDED checkbits + 12 parity bits + index/way tag). The structure is
+//! indexed by the same physical address bits as the L2, so addresses from
+//! disjoint L2 sets contend for the same ECC-cache set; an eviction here
+//! forces the invalidation of the (unrelated) L2 line it protected — the
+//! contention effect Figures 4/5 measure.
+
+use killi_ecc::bch::DectedCode;
+use killi_ecc::secded::SecdedCode;
+use killi_fault::map::LineId;
+
+/// Protection metadata stored in one ECC-cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccPayload {
+    /// SECDED checkbits plus the upper 12 of the 16 training-mode parity
+    /// bits (the 23 payload bits of the paper's 41-bit entry).
+    Secded {
+        /// The 11 SECDED checkbits.
+        code: SecdedCode,
+        /// Parity bits 4..16 of the interleaved segment parity.
+        parity_hi: u16,
+    },
+    /// DEC-TED checkbits (post-training upgrade, §5.2: the freed 12 parity
+    /// bits plus the 11 SECDED bits hold a 21-bit DECTED code).
+    Dected(DectedCode),
+    /// Orthogonal-Latin-Square checkbits (the §5.5 low-Vmin variant:
+    /// 256 bits of OLSC(8, 2) per protected line).
+    Olsc([u64; 4]),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    l2_line: LineId,
+    payload: EccPayload,
+    lru: u64,
+}
+
+const INVALID: Entry = Entry {
+    valid: false,
+    l2_line: 0,
+    payload: EccPayload::Secded {
+        code: SecdedCode(0),
+        parity_hi: 0,
+    },
+    lru: 0,
+};
+
+/// ECC-cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccCacheConfig {
+    /// One ECC-cache entry per `ratio` L2 lines (the paper sweeps
+    /// 16..=256).
+    pub ratio: usize,
+    /// Associativity (Table 3: 4).
+    pub ways: usize,
+}
+
+impl EccCacheConfig {
+    /// The paper's configuration at a given ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero.
+    pub fn with_ratio(ratio: usize) -> Self {
+        assert!(ratio > 0, "ratio must be positive");
+        EccCacheConfig { ratio, ways: 4 }
+    }
+}
+
+/// The ECC cache.
+#[derive(Debug, Clone)]
+pub struct EccCache {
+    sets: usize,
+    ways: usize,
+    l2_ways: usize,
+    entries: Vec<Entry>,
+    clock: u64,
+    accesses: u64,
+    evictions: u64,
+}
+
+impl EccCache {
+    /// Builds an ECC cache protecting an L2 with `l2_lines` physical lines
+    /// of `l2_ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets or a non-power-of-two
+    /// set count.
+    pub fn new(config: EccCacheConfig, l2_lines: usize, l2_ways: usize) -> Self {
+        let entries = l2_lines / config.ratio;
+        assert!(entries >= config.ways, "ECC cache smaller than one set");
+        let sets = entries / config.ways;
+        assert!(sets.is_power_of_two(), "ECC cache sets must be a power of two");
+        EccCache {
+            sets,
+            ways: config.ways,
+            l2_ways,
+            entries: vec![INVALID; entries],
+            clock: 0,
+            accesses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Lookups + inserts performed (for the energy model).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Valid entries displaced by capacity (each forced an L2 line
+    /// invalidation).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// ECC-cache set of an L2 line: indexed by the same physical address
+    /// bits (the L2 set index) as the main cache.
+    fn set_of(&self, l2_line: LineId) -> usize {
+        (l2_line / self.l2_ways) % self.sets
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// True when `l2_line` currently owns an entry (no LRU update).
+    pub fn has_entry(&self, l2_line: LineId) -> bool {
+        let range = self.set_range(self.set_of(l2_line));
+        self.entries[range]
+            .iter()
+            .any(|e| e.valid && e.l2_line == l2_line)
+    }
+
+    /// True when the set `l2_line` maps to has an invalid way (an insert
+    /// would not displace anything).
+    pub fn set_has_free_way(&self, l2_line: LineId) -> bool {
+        let range = self.set_range(self.set_of(l2_line));
+        self.entries[range].iter().any(|e| !e.valid)
+    }
+
+    /// Reads the payload protecting `l2_line`, updating LRU.
+    pub fn lookup(&mut self, l2_line: LineId) -> Option<EccPayload> {
+        self.accesses += 1;
+        self.clock += 1;
+        let range = self.set_range(self.set_of(l2_line));
+        for e in &mut self.entries[range] {
+            if e.valid && e.l2_line == l2_line {
+                e.lru = self.clock;
+                return Some(e.payload);
+            }
+        }
+        None
+    }
+
+    /// Updates the payload of an existing entry (e.g. SECDED -> DECTED
+    /// upgrade). Returns false when the line has no entry.
+    pub fn update(&mut self, l2_line: LineId, payload: EccPayload) -> bool {
+        let range = self.set_range(self.set_of(l2_line));
+        for e in &mut self.entries[range] {
+            if e.valid && e.l2_line == l2_line {
+                e.payload = payload;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts (or replaces) the entry for `l2_line`. Returns the L2 line
+    /// whose entry was evicted to make room, together with its payload (so
+    /// the displaced line can still be trained on its way out), if any.
+    pub fn insert(
+        &mut self,
+        l2_line: LineId,
+        payload: EccPayload,
+    ) -> Option<(LineId, EccPayload)> {
+        self.accesses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(self.set_of(l2_line));
+        // Replace an existing entry for the same line.
+        if let Some(e) = self.entries[range.clone()]
+            .iter_mut()
+            .find(|e| e.valid && e.l2_line == l2_line)
+        {
+            e.payload = payload;
+            e.lru = clock;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(e) = self.entries[range.clone()].iter_mut().find(|e| !e.valid) {
+            *e = Entry {
+                valid: true,
+                l2_line,
+                payload,
+                lru: clock,
+            };
+            return None;
+        }
+        // Evict LRU; its L2 line loses protection.
+        let victim_idx = range
+            .clone()
+            .min_by_key(|&i| self.entries[i].lru)
+            .expect("nonempty set");
+        let displaced = (
+            self.entries[victim_idx].l2_line,
+            self.entries[victim_idx].payload,
+        );
+        self.entries[victim_idx] = Entry {
+            valid: true,
+            l2_line,
+            payload,
+            lru: clock,
+        };
+        self.evictions += 1;
+        Some(displaced)
+    }
+
+    /// Removes the entry for `l2_line` (line classified `b'00` or evicted).
+    pub fn invalidate(&mut self, l2_line: LineId) {
+        let range = self.set_range(self.set_of(l2_line));
+        for e in &mut self.entries[range] {
+            if e.valid && e.l2_line == l2_line {
+                e.valid = false;
+            }
+        }
+    }
+
+    /// Promotes the entry of `l2_line` to MRU (coordinated replacement,
+    /// §4.4).
+    pub fn promote(&mut self, l2_line: LineId) {
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(self.set_of(l2_line));
+        for e in &mut self.entries[range] {
+            if e.valid && e.l2_line == l2_line {
+                e.lru = clock;
+            }
+        }
+    }
+
+    /// Clears every entry (DFH reset).
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(tag: u16) -> EccPayload {
+        EccPayload::Secded {
+            code: SecdedCode(tag),
+            parity_hi: tag,
+        }
+    }
+
+    fn cache(ratio: usize) -> EccCache {
+        // A 1024-line, 16-way L2.
+        EccCache::new(EccCacheConfig::with_ratio(ratio), 1024, 16)
+    }
+
+    #[test]
+    fn capacity_follows_ratio() {
+        assert_eq!(cache(16).capacity(), 64);
+        assert_eq!(cache(64).capacity(), 16);
+        // Paper: 2 MB L2 at 1:256 -> 128 entries.
+        let paper = EccCache::new(EccCacheConfig::with_ratio(256), 32768, 16);
+        assert_eq!(paper.capacity(), 128);
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut c = cache(16);
+        assert_eq!(c.insert(5, payload(7)), None);
+        assert_eq!(c.lookup(5), Some(payload(7)));
+        assert_eq!(c.lookup(6), None);
+    }
+
+    #[test]
+    fn reinsert_replaces_payload() {
+        let mut c = cache(16);
+        c.insert(5, payload(1));
+        assert_eq!(c.insert(5, payload(2)), None, "no eviction on replace");
+        assert_eq!(c.lookup(5), Some(payload(2)));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn update_requires_existing_entry() {
+        let mut c = cache(16);
+        assert!(!c.update(5, payload(1)));
+        c.insert(5, payload(1));
+        assert!(c.update(5, payload(9)));
+        assert_eq!(c.lookup(5), Some(payload(9)));
+    }
+
+    #[test]
+    fn capacity_eviction_reports_displaced_line() {
+        let mut c = cache(64); // 16 entries, 4 ways -> 4 sets
+        // Lines mapping to the same ECC set: same (l2_line/16) % 4.
+        let same_set: Vec<LineId> = (0..5).map(|i| i * 16 * 4).collect();
+        for (i, &l) in same_set.iter().take(4).enumerate() {
+            assert_eq!(c.insert(l, payload(i as u16)), None);
+        }
+        let displaced = c.insert(same_set[4], payload(99));
+        assert_eq!(
+            displaced,
+            Some((same_set[0], payload(0))),
+            "LRU entry displaced with its payload"
+        );
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn lru_respects_lookups_and_promotion() {
+        let mut c = cache(64);
+        let lines: Vec<LineId> = (0..5).map(|i| i * 16 * 4).collect();
+        for &l in &lines[..4] {
+            c.insert(l, payload(0));
+        }
+        c.lookup(lines[0]); // MRU by lookup
+        c.promote(lines[1]); // MRU by coordinated promotion
+        let displaced = c.insert(lines[4], payload(0));
+        assert_eq!(
+            displaced.map(|(l, _)| l),
+            Some(lines[2]),
+            "oldest untouched entry goes"
+        );
+    }
+
+    #[test]
+    fn invalidate_frees_space() {
+        let mut c = cache(64);
+        let lines: Vec<LineId> = (0..5).map(|i| i * 16 * 4).collect();
+        for &l in &lines[..4] {
+            c.insert(l, payload(0));
+        }
+        c.invalidate(lines[2]);
+        assert_eq!(c.occupancy(), 3);
+        assert_eq!(c.insert(lines[4], payload(0)), None, "reused freed way");
+    }
+
+    #[test]
+    fn disjoint_l2_sets_share_ecc_sets() {
+        // The contention mechanism of §4.3: with 4 ECC sets, L2 sets 0 and 4
+        // collide.
+        let c = cache(64);
+        assert_eq!(c.set_of(0), c.set_of(4 * 16));
+        assert_ne!(c.set_of(0), c.set_of(16));
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = cache(16);
+        c.insert(1, payload(1));
+        c.insert(2, payload(2));
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.lookup(1), None);
+    }
+
+    #[test]
+    fn dected_payload_roundtrip() {
+        let mut c = cache(16);
+        c.insert(3, EccPayload::Dected(DectedCode(0x1F_FFFF)));
+        assert_eq!(c.lookup(3), Some(EccPayload::Dected(DectedCode(0x1F_FFFF))));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        EccCache::new(EccCacheConfig { ratio: 4, ways: 4 }, 48, 16);
+    }
+}

@@ -1,0 +1,348 @@
+//! Fixed-width bit-vector type for 512-bit (64-byte) cache lines.
+//!
+//! Every protection scheme in this repository operates on whole cache lines,
+//! so the line payload gets a dedicated type instead of `[u64; 8]` flying
+//! around ([C-NEWTYPE]). Bit index 0 is the least-significant bit of word 0.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign, BitXor, BitXorAssign};
+
+/// Number of data bits in a cache line.
+pub const LINE_BITS: usize = 512;
+/// Number of 64-bit words backing a [`Line512`].
+pub const LINE_WORDS: usize = LINE_BITS / 64;
+/// Number of bytes in a cache line.
+pub const LINE_BYTES: usize = LINE_BITS / 8;
+
+/// A 512-bit cache-line payload.
+///
+/// # Examples
+///
+/// ```
+/// use killi_ecc::bits::Line512;
+///
+/// let mut line = Line512::zero();
+/// line.set_bit(100, true);
+/// assert!(line.bit(100));
+/// assert_eq!(line.count_ones(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Line512(pub [u64; LINE_WORDS]);
+
+impl Line512 {
+    /// The all-zero line.
+    #[inline]
+    pub const fn zero() -> Self {
+        Line512([0; LINE_WORDS])
+    }
+
+    /// Creates a line from its backing words (word 0 holds bits 0..64).
+    #[inline]
+    pub const fn from_words(words: [u64; LINE_WORDS]) -> Self {
+        Line512(words)
+    }
+
+    /// Deterministic pseudo-random line derived from `seed` via SplitMix64.
+    ///
+    /// Used by the simulator to give every memory address reproducible
+    /// content without storing backing memory.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut words = [0u64; LINE_WORDS];
+        let mut s = seed;
+        for w in &mut words {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        Line512(words)
+    }
+
+    /// Returns the backing words.
+    #[inline]
+    pub const fn words(&self) -> &[u64; LINE_WORDS] {
+        &self.0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 512`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < LINE_BITS, "bit index {i} out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 512`.
+    #[inline]
+    pub fn set_bit(&mut self, i: usize, v: bool) {
+        assert!(i < LINE_BITS, "bit index {i} out of range");
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.0[i / 64] |= mask;
+        } else {
+            self.0[i / 64] &= !mask;
+        }
+    }
+
+    /// Inverts bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 512`.
+    #[inline]
+    pub fn flip_bit(&mut self, i: usize) {
+        assert!(i < LINE_BITS, "bit index {i} out of range");
+        self.0[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Parity (XOR) of all 512 bits.
+    #[inline]
+    pub fn parity(&self) -> bool {
+        let folded = self.0.iter().fold(0u64, |a, w| a ^ w);
+        folded.count_ones() % 2 == 1
+    }
+
+    /// Parity of the bits selected by `mask`.
+    #[inline]
+    pub fn masked_parity(&self, mask: &Line512) -> bool {
+        let mut folded = 0u64;
+        for (w, m) in self.0.iter().zip(mask.0.iter()) {
+            folded ^= w & m;
+        }
+        folded.count_ones() % 2 == 1
+    }
+
+    /// Returns the line with every bit inverted.
+    #[inline]
+    pub fn inverted(&self) -> Self {
+        let mut out = *self;
+        for w in &mut out.0 {
+            *w = !*w;
+        }
+        out
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    ///
+    /// ```
+    /// use killi_ecc::bits::Line512;
+    /// let mut l = Line512::zero();
+    /// l.set_bit(3, true);
+    /// l.set_bit(511, true);
+    /// assert_eq!(l.iter_ones().collect::<Vec<_>>(), vec![3, 511]);
+    /// ```
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            line: self,
+            word: 0,
+            bits: self.0[0],
+        }
+    }
+}
+
+/// Iterator over set-bit indices of a [`Line512`], produced by
+/// [`Line512::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    line: &'a Line512,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.word += 1;
+            if self.word >= LINE_WORDS {
+                return None;
+            }
+            self.bits = self.line.0[self.word];
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.word * 64 + tz)
+    }
+}
+
+impl BitOr for Line512 {
+    type Output = Line512;
+
+    fn bitor(mut self, rhs: Line512) -> Line512 {
+        self |= rhs;
+        self
+    }
+}
+
+impl BitOrAssign for Line512 {
+    fn bitor_assign(&mut self, rhs: Line512) {
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a |= b;
+        }
+    }
+}
+
+impl BitXor for Line512 {
+    type Output = Line512;
+
+    fn bitxor(mut self, rhs: Line512) -> Line512 {
+        self ^= rhs;
+        self
+    }
+}
+
+impl BitXorAssign for Line512 {
+    fn bitxor_assign(&mut self, rhs: Line512) {
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a ^= b;
+        }
+    }
+}
+
+impl fmt::Debug for Line512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line512[")?;
+        for (i, w) in self.0.iter().enumerate().rev() {
+            if i != LINE_WORDS - 1 {
+                write!(f, "_")?;
+            }
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::LowerHex for Line512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for w in self.0.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_line_has_no_ones() {
+        let l = Line512::zero();
+        assert_eq!(l.count_ones(), 0);
+        assert!(!l.parity());
+        assert_eq!(l.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut l = Line512::zero();
+        for i in [0usize, 1, 63, 64, 100, 255, 256, 511] {
+            assert!(!l.bit(i));
+            l.set_bit(i, true);
+            assert!(l.bit(i));
+        }
+        assert_eq!(l.count_ones(), 8);
+        l.set_bit(100, false);
+        assert!(!l.bit(100));
+        assert_eq!(l.count_ones(), 7);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut l = Line512::zero();
+        l.flip_bit(200);
+        assert!(l.bit(200));
+        l.flip_bit(200);
+        assert!(!l.bit(200));
+    }
+
+    #[test]
+    fn parity_counts_mod_two() {
+        let mut l = Line512::zero();
+        assert!(!l.parity());
+        l.set_bit(7, true);
+        assert!(l.parity());
+        l.set_bit(300, true);
+        assert!(!l.parity());
+    }
+
+    #[test]
+    fn masked_parity_selects_bits() {
+        let mut l = Line512::zero();
+        l.set_bit(10, true);
+        l.set_bit(20, true);
+        let mut mask = Line512::zero();
+        mask.set_bit(10, true);
+        assert!(l.masked_parity(&mask));
+        mask.set_bit(20, true);
+        assert!(!l.masked_parity(&mask));
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_varied() {
+        let a = Line512::from_seed(42);
+        let b = Line512::from_seed(42);
+        let c = Line512::from_seed(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // A pseudo-random line should be roughly half ones.
+        let ones = a.count_ones();
+        assert!((100..400).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = Line512::from_seed(1);
+        let b = Line512::from_seed(2);
+        assert_eq!((a ^ b) ^ b, a);
+    }
+
+    #[test]
+    fn or_unions_bits() {
+        let mut a = Line512::zero();
+        a.set_bit(3, true);
+        let mut b = Line512::zero();
+        b.set_bit(3, true);
+        b.set_bit(400, true);
+        let u = a | b;
+        assert!(u.bit(3) && u.bit(400));
+        assert_eq!(u.count_ones(), 2);
+    }
+
+    #[test]
+    fn inverted_flips_every_bit() {
+        let a = Line512::from_seed(9);
+        let inv = a.inverted();
+        assert_eq!(a.count_ones() + inv.count_ones(), LINE_BITS as u32);
+        assert_eq!(a ^ inv, Line512::from_words([u64::MAX; LINE_WORDS]));
+    }
+
+    #[test]
+    fn iter_ones_matches_bits() {
+        let a = Line512::from_seed(77);
+        let from_iter: Vec<usize> = a.iter_ones().collect();
+        let from_scan: Vec<usize> = (0..LINE_BITS).filter(|&i| a.bit(i)).collect();
+        assert_eq!(from_iter, from_scan);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        Line512::zero().bit(512);
+    }
+}

@@ -1,0 +1,251 @@
+//! Arithmetic in GF(2^10), the field underlying the DEC-TED BCH code.
+//!
+//! Elements are bit-vector polynomials over GF(2) reduced modulo the
+//! primitive polynomial `x^10 + x^3 + 1`. Multiplication uses log/antilog
+//! tables built once per process.
+
+use std::sync::OnceLock;
+
+/// Field order minus one: the multiplicative group size.
+pub const GROUP_ORDER: usize = 1023;
+/// Primitive polynomial `x^10 + x^3 + 1` (bit 10, bit 3, bit 0).
+pub const PRIMITIVE_POLY: u16 = 0b100_0000_1001;
+
+/// An element of GF(2^10), stored as a 10-bit polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf10(pub u16);
+
+struct Tables {
+    /// `exp[i]` = alpha^i for i in 0..2046 (doubled to skip a mod).
+    exp: Vec<u16>,
+    /// `log[x]` = discrete log of x (undefined at 0).
+    log: [u16; 1024],
+}
+
+fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * GROUP_ORDER];
+        let mut log = [0u16; 1024];
+        let mut x = 1u16;
+        for (i, e) in exp.iter_mut().enumerate().take(GROUP_ORDER) {
+            *e = x;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x400 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        for i in GROUP_ORDER..2 * GROUP_ORDER {
+            exp[i] = exp[i - GROUP_ORDER];
+        }
+        Tables { exp, log }
+    })
+}
+
+#[allow(clippy::should_implement_trait)] // GF ops are explicit by design
+impl Gf10 {
+    /// The additive identity.
+    pub const ZERO: Gf10 = Gf10(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf10 = Gf10(1);
+
+    /// `alpha^i`, the `i`-th power of the primitive element.
+    #[inline]
+    pub fn alpha_pow(i: usize) -> Gf10 {
+        Gf10(tables().exp[i % GROUP_ORDER])
+    }
+
+    /// True when this is the zero element.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(self, rhs: Gf10) -> Gf10 {
+        Gf10(self.0 ^ rhs.0)
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(self, rhs: Gf10) -> Gf10 {
+        if self.is_zero() || rhs.is_zero() {
+            return Gf10::ZERO;
+        }
+        let t = tables();
+        let i = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf10(t.exp[i])
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero element.
+    #[inline]
+    pub fn inv(self) -> Gf10 {
+        assert!(!self.is_zero(), "inverse of zero in GF(2^10)");
+        let t = tables();
+        let l = t.log[self.0 as usize] as usize;
+        Gf10(t.exp[GROUP_ORDER - l])
+    }
+
+    /// `self` raised to the `e`-th power.
+    pub fn pow(self, e: usize) -> Gf10 {
+        if self.is_zero() {
+            return if e == 0 { Gf10::ONE } else { Gf10::ZERO };
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as usize;
+        Gf10(t.exp[(l * e) % GROUP_ORDER])
+    }
+
+    /// Discrete logarithm base alpha.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero element.
+    #[inline]
+    pub fn log(self) -> usize {
+        assert!(!self.is_zero(), "log of zero in GF(2^10)");
+        tables().log[self.0 as usize] as usize
+    }
+
+    /// Square root (every element of a binary field has exactly one).
+    pub fn sqrt(self) -> Gf10 {
+        // x^(2^9) squares to x^(2^10) = x.
+        let mut v = self;
+        for _ in 0..9 {
+            v = v.mul(v);
+        }
+        v
+    }
+}
+
+/// Computes the minimal polynomial over GF(2) of `alpha^r`, returned as a
+/// bitmask (bit `i` = coefficient of `x^i`).
+///
+/// Used to construct BCH generator polynomials.
+pub fn minimal_polynomial(r: usize) -> u32 {
+    // Collect the conjugacy class {r, 2r, 4r, ...} mod 1023.
+    let mut class = Vec::new();
+    let mut e = r % GROUP_ORDER;
+    loop {
+        if class.contains(&e) {
+            break;
+        }
+        class.push(e);
+        e = (e * 2) % GROUP_ORDER;
+    }
+    // Multiply out prod (x + alpha^e) over GF(2^10); the result has GF(2)
+    // coefficients by construction.
+    let mut coeffs: Vec<Gf10> = vec![Gf10::ONE]; // polynomial "1"
+    for &e in &class {
+        let root = Gf10::alpha_pow(e);
+        let mut next = vec![Gf10::ZERO; coeffs.len() + 1];
+        for (i, &c) in coeffs.iter().enumerate() {
+            next[i + 1] = next[i + 1].add(c); // x * c_i
+            next[i] = next[i].add(c.mul(root)); // root * c_i
+        }
+        coeffs = next;
+    }
+    let mut mask = 0u32;
+    for (i, c) in coeffs.iter().enumerate() {
+        assert!(
+            c.0 <= 1,
+            "minimal polynomial coefficient not in GF(2): {c:?}"
+        );
+        if c.0 == 1 {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_has_full_order() {
+        assert_eq!(Gf10::alpha_pow(0), Gf10::ONE);
+        assert_eq!(Gf10::alpha_pow(GROUP_ORDER), Gf10::ONE);
+        for i in 1..GROUP_ORDER {
+            assert_ne!(Gf10::alpha_pow(i), Gf10::ONE, "order divides {i}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less multiply then reduce, compared against table mul.
+        fn slow_mul(a: u16, b: u16) -> u16 {
+            let mut acc: u32 = 0;
+            for i in 0..10 {
+                if (b >> i) & 1 == 1 {
+                    acc ^= (a as u32) << i;
+                }
+            }
+            for i in (10..20).rev() {
+                if (acc >> i) & 1 == 1 {
+                    acc ^= (PRIMITIVE_POLY as u32) << (i - 10);
+                }
+            }
+            acc as u16
+        }
+        for a in [0u16, 1, 2, 3, 5, 100, 512, 1023] {
+            for b in [0u16, 1, 7, 64, 999, 1023] {
+                assert_eq!(Gf10(a).mul(Gf10(b)).0, slow_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for v in 1..1024u16 {
+            let x = Gf10(v);
+            assert_eq!(x.mul(x.inv()), Gf10::ONE, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn pow_and_log_agree() {
+        for i in [0usize, 1, 5, 100, 1022] {
+            let x = Gf10::alpha_pow(i);
+            assert_eq!(x.log(), i);
+        }
+        let x = Gf10::alpha_pow(17);
+        assert_eq!(x.pow(3), x.mul(x).mul(x));
+        assert_eq!(x.pow(0), Gf10::ONE);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for v in 0..1024u16 {
+            let x = Gf10(v);
+            let s = x.sqrt();
+            assert_eq!(s.mul(s), x, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn minimal_polynomial_of_alpha_is_primitive_poly() {
+        assert_eq!(minimal_polynomial(1), PRIMITIVE_POLY as u32);
+    }
+
+    #[test]
+    fn minimal_polynomial_of_alpha3_has_degree_10_and_root_alpha3() {
+        let m3 = minimal_polynomial(3);
+        assert_eq!(32 - m3.leading_zeros() - 1, 10, "degree of m3");
+        // Evaluate m3 at alpha^3: must be zero.
+        let x = Gf10::alpha_pow(3);
+        let mut acc = Gf10::ZERO;
+        for i in 0..=10 {
+            if (m3 >> i) & 1 == 1 {
+                acc = acc.add(x.pow(i));
+            }
+        }
+        assert!(acc.is_zero());
+    }
+}

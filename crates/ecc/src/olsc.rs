@@ -1,0 +1,461 @@
+//! Orthogonal Latin Square Codes (OLSC) with one-step majority-logic
+//! decoding.
+//!
+//! MS-ECC [Chishti et al., MICRO'09] and the low-Vmin Killi variant (§5.5)
+//! protect lines with OLSC because the code strength scales smoothly: for an
+//! `m x m` data block (`k = m^2` bits), a `t`-error-correcting OLSC uses
+//! `2*t*m` checkbits organized as `2t` *groups* of `m` parity classes each
+//! (rows, columns, and `2t - 2` Latin-square diagonals). Any two data cells
+//! share at most one class across all groups, so a single pass of majority
+//! voting over the `2t` check sums corrects up to `t` errors.
+
+use crate::bits::Line512;
+
+/// Maximum words backing an OLSC data block (`k <= 256` bits).
+const DATA_WORDS: usize = 4;
+
+/// A `k = m^2`-bit OLSC data block (bits beyond `k` must stay zero).
+pub type OlscBlock = [u64; DATA_WORDS];
+
+/// GF(2^e) multiply for tiny fields (m = 4, 8, 16), used to build the
+/// mutually orthogonal Latin squares.
+fn gf_mul_small(m: usize, a: usize, b: usize) -> usize {
+    let poly = match m {
+        4 => 0b111,        // x^2 + x + 1
+        8 => 0b1011,       // x^3 + x + 1
+        16 => 0b10011,     // x^4 + x + 1
+        _ => unreachable!(),
+    };
+    let bits = m.trailing_zeros() as usize;
+    let mut acc = 0usize;
+    let mut aa = a;
+    let mut bb = b;
+    while bb != 0 {
+        if bb & 1 == 1 {
+            acc ^= aa;
+        }
+        aa <<= 1;
+        if aa & m != 0 {
+            aa ^= poly;
+        }
+        bb >>= 1;
+    }
+    debug_assert!(acc < (1 << bits));
+    acc
+}
+
+/// Decode verdict of the OLSC codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OlscDecode {
+    /// No error detected.
+    Clean,
+    /// Errors corrected at the listed data-bit indices (checkbit-cell errors
+    /// are absorbed silently).
+    Corrected { bits: Vec<usize> },
+    /// Residual inconsistency after majority voting: more than `t` errors.
+    Detected,
+}
+
+impl OlscDecode {
+    /// True when the data cannot be recovered.
+    pub fn is_uncorrectable(&self) -> bool {
+        matches!(self, OlscDecode::Detected)
+    }
+}
+
+/// A `t`-error-correcting OLSC over an `m x m` data block.
+#[derive(Debug, Clone)]
+pub struct Olsc {
+    m: usize,
+    t: usize,
+    k: usize,
+    /// `class_of[g][cell]` = parity class of `cell` within group `g`.
+    class_of: Vec<Vec<u16>>,
+    /// `masks[g][class]` = data bits belonging to that parity class.
+    masks: Vec<Vec<OlscBlock>>,
+}
+
+impl Olsc {
+    /// Builds a codec for an `m x m` block correcting `t` errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m` is 4, 8 or 16 and `1 <= t <= (m + 1) / 2` (the
+    /// field supplies only `m - 1` Latin squares plus rows and columns).
+    pub fn new(m: usize, t: usize) -> Self {
+        assert!(
+            matches!(m, 4 | 8 | 16),
+            "OLSC block width {m} unsupported (use 4, 8 or 16)"
+        );
+        assert!(
+            t >= 1 && 2 * t <= m + 1,
+            "t = {t} out of range for m = {m}"
+        );
+        let k = m * m;
+        let groups = 2 * t;
+        let mut class_of = vec![vec![0u16; k]; groups];
+        for (g, table) in class_of.iter_mut().enumerate() {
+            for i in 0..m {
+                for j in 0..m {
+                    let cell = i * m + j;
+                    table[cell] = match g {
+                        0 => i as u16,                                // rows
+                        1 => j as u16,                                // columns
+                        _ => (gf_mul_small(m, g - 1, i) ^ j) as u16,  // L_{g-1}
+                    };
+                }
+            }
+        }
+        let mut masks = vec![vec![[0u64; DATA_WORDS]; m]; groups];
+        for g in 0..groups {
+            for cell in 0..k {
+                let cls = class_of[g][cell] as usize;
+                masks[g][cls][cell / 64] |= 1u64 << (cell % 64);
+            }
+        }
+        Olsc {
+            m,
+            t,
+            k,
+            class_of,
+            masks,
+        }
+    }
+
+    /// Number of data bits per block (`m^2`).
+    pub fn data_bits(&self) -> usize {
+        self.k
+    }
+
+    /// Number of checkbits per block (`2 * t * m`).
+    pub fn check_bits(&self) -> usize {
+        2 * self.t * self.m
+    }
+
+    /// Correction capability per block.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    fn block_parity(block: &OlscBlock, mask: &OlscBlock) -> bool {
+        let mut folded = 0u64;
+        for (w, m) in block.iter().zip(mask.iter()) {
+            folded ^= w & m;
+        }
+        folded.count_ones() % 2 == 1
+    }
+
+    /// Encodes a data block into its checkbits, one `bool` per
+    /// (group, class) in group-major order.
+    pub fn encode(&self, data: &OlscBlock) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.check_bits());
+        for group in &self.masks {
+            for mask in group {
+                out.push(Self::block_parity(data, mask));
+            }
+        }
+        out
+    }
+
+    /// Decodes a received (data, checkbits) pair, correcting `data` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored.len() != self.check_bits()`.
+    pub fn decode(&self, data: &mut OlscBlock, stored: &[bool]) -> OlscDecode {
+        assert_eq!(stored.len(), self.check_bits(), "checkbit count mismatch");
+        let groups = 2 * self.t;
+        // Check sums: recomputed parity XOR stored checkbit, per class.
+        let mut sums = vec![false; groups * self.m];
+        let mut any = false;
+        for (g, group) in self.masks.iter().enumerate() {
+            for (cls, mask) in group.iter().enumerate() {
+                let b = Self::block_parity(data, mask) ^ stored[g * self.m + cls];
+                sums[g * self.m + cls] = b;
+                any |= b;
+            }
+        }
+        if !any {
+            return OlscDecode::Clean;
+        }
+        // Majority vote per data bit: flip when more than t check sums fire.
+        let mut flipped = Vec::new();
+        for cell in 0..self.k {
+            let mut votes = 0usize;
+            for g in 0..groups {
+                if sums[g * self.m + self.class_of[g][cell] as usize] {
+                    votes += 1;
+                }
+            }
+            if votes > self.t {
+                flipped.push(cell);
+            }
+        }
+        for &cell in &flipped {
+            data[cell / 64] ^= 1u64 << (cell % 64);
+        }
+        // Residual check: any remaining inconsistency means > t errors hit
+        // the block (or its checkbits) in a pattern majority logic cannot fix.
+        for (g, group) in self.masks.iter().enumerate() {
+            for (cls, mask) in group.iter().enumerate() {
+                if Self::block_parity(data, mask) != stored[g * self.m + cls] {
+                    // Inconsistency may be a corrupted checkbit cell; that is
+                    // tolerable only while few classes disagree. Count them.
+                    let residual = self.residual_count(data, stored);
+                    if residual > self.t {
+                        return OlscDecode::Detected;
+                    }
+                    return if flipped.is_empty() {
+                        OlscDecode::Clean // checkbit-cell errors only
+                    } else {
+                        OlscDecode::Corrected { bits: flipped }
+                    };
+                }
+            }
+        }
+        OlscDecode::Corrected { bits: flipped }
+    }
+
+    fn residual_count(&self, data: &OlscBlock, stored: &[bool]) -> usize {
+        let mut n = 0;
+        for (g, group) in self.masks.iter().enumerate() {
+            for (cls, mask) in group.iter().enumerate() {
+                if Self::block_parity(data, mask) != stored[g * self.m + cls] {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// OLSC protection for a whole 512-bit cache line, built from
+/// `512 / m^2` independent blocks.
+#[derive(Debug, Clone)]
+pub struct OlscLine {
+    codec: Olsc,
+    blocks: usize,
+}
+
+impl OlscLine {
+    /// Builds a line codec from per-block parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m^2` does not divide 512.
+    pub fn new(m: usize, t: usize) -> Self {
+        let codec = Olsc::new(m, t);
+        assert_eq!(
+            512 % codec.data_bits(),
+            0,
+            "block size {} does not divide the line",
+            codec.data_bits()
+        );
+        let blocks = 512 / codec.data_bits();
+        OlscLine { codec, blocks }
+    }
+
+    /// Total checkbits per line.
+    pub fn check_bits(&self) -> usize {
+        self.blocks * self.codec.check_bits()
+    }
+
+    /// Errors correctable per block (the per-line capability is
+    /// `t * blocks` only when errors spread evenly).
+    pub fn t_per_block(&self) -> usize {
+        self.codec.t()
+    }
+
+    fn split(&self, line: &Line512) -> Vec<OlscBlock> {
+        let k = self.codec.data_bits();
+        let mut out = Vec::with_capacity(self.blocks);
+        for b in 0..self.blocks {
+            let mut block = [0u64; DATA_WORDS];
+            for bit in 0..k {
+                let idx = b * k + bit;
+                if line.bit(idx) {
+                    block[bit / 64] |= 1u64 << (bit % 64);
+                }
+            }
+            out.push(block);
+        }
+        out
+    }
+
+    /// Encodes a line into its checkbit vector.
+    pub fn encode(&self, line: &Line512) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.check_bits());
+        for block in self.split(line) {
+            out.extend(self.codec.encode(&block));
+        }
+        out
+    }
+
+    /// Decodes a line in place against stored checkbits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored.len() != self.check_bits()`.
+    pub fn decode(&self, line: &mut Line512, stored: &[bool]) -> OlscDecode {
+        assert_eq!(stored.len(), self.check_bits(), "checkbit count mismatch");
+        let k = self.codec.data_bits();
+        let per_block = self.codec.check_bits();
+        let mut all_flipped = Vec::new();
+        let mut clean = true;
+        for (b, mut block) in self.split(line).into_iter().enumerate() {
+            let stored_block = &stored[b * per_block..(b + 1) * per_block];
+            match self.codec.decode(&mut block, stored_block) {
+                OlscDecode::Clean => {}
+                OlscDecode::Corrected { bits } => {
+                    clean = false;
+                    for bit in bits {
+                        let idx = b * k + bit;
+                        line.flip_bit(idx);
+                        all_flipped.push(idx);
+                    }
+                }
+                OlscDecode::Detected => return OlscDecode::Detected,
+            }
+        }
+        if clean {
+            OlscDecode::Clean
+        } else {
+            OlscDecode::Corrected { bits: all_flipped }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_block(seed: u64, k: usize) -> OlscBlock {
+        let line = Line512::from_seed(seed);
+        let mut block = [0u64; DATA_WORDS];
+        for bit in 0..k {
+            if line.bit(bit) {
+                block[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+        block
+    }
+
+    #[test]
+    fn check_bit_counts() {
+        assert_eq!(Olsc::new(8, 2).check_bits(), 32);
+        assert_eq!(Olsc::new(8, 4).check_bits(), 64);
+        assert_eq!(Olsc::new(16, 3).check_bits(), 96);
+        assert_eq!(OlscLine::new(8, 2).check_bits(), 256); // 8 blocks x 32
+        assert_eq!(OlscLine::new(16, 3).check_bits(), 192); // 2 blocks x 96
+    }
+
+    #[test]
+    fn orthogonality_two_cells_share_at_most_one_class() {
+        for m in [4usize, 8, 16] {
+            let t = m.div_ceil(2);
+            let codec = Olsc::new(m, t);
+            let k = codec.data_bits();
+            // Sample pairs (full cross product is large for m = 16).
+            for a in (0..k).step_by(7) {
+                for b in (0..k).step_by(11) {
+                    if a == b {
+                        continue;
+                    }
+                    let shared = (0..2 * t)
+                        .filter(|&g| codec.class_of[g][a] == codec.class_of[g][b])
+                        .count();
+                    assert!(shared <= 1, "m={m}: cells {a},{b} share {shared} classes");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        for (m, t) in [(4usize, 2usize), (8, 2), (8, 4), (16, 3)] {
+            let codec = Olsc::new(m, t);
+            let mut data = random_block(99, codec.data_bits());
+            let check = codec.encode(&data);
+            assert_eq!(codec.decode(&mut data, &check), OlscDecode::Clean);
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_per_block() {
+        for (m, t) in [(8usize, 2usize), (8, 4), (16, 3)] {
+            let codec = Olsc::new(m, t);
+            let k = codec.data_bits();
+            let original = random_block(7, k);
+            let check = codec.encode(&original);
+            for ne in 1..=t {
+                let mut data = original;
+                for e in 0..ne {
+                    let bit = (e * 37 + 5) % k;
+                    data[bit / 64] ^= 1 << (bit % 64);
+                }
+                let d = codec.decode(&mut data, &check);
+                assert!(
+                    matches!(d, OlscDecode::Corrected { .. }),
+                    "m={m} t={t} ne={ne}: {d:?}"
+                );
+                assert_eq!(data, original, "m={m} t={t} ne={ne}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_codec_corrects_spread_errors() {
+        let codec = OlscLine::new(8, 2); // 2 per 64-bit block
+        let original = Line512::from_seed(123);
+        let check = codec.encode(&original);
+        let mut line = original;
+        // 11 errors spread across blocks with <= 2 per block.
+        for (i, bit) in [3usize, 40, 70, 100, 140, 180, 210, 260, 330, 400, 480]
+            .iter()
+            .enumerate()
+        {
+            let _ = i;
+            line.flip_bit(*bit);
+        }
+        let d = codec.decode(&mut line, &check);
+        assert!(matches!(d, OlscDecode::Corrected { .. }), "{d:?}");
+        assert_eq!(line, original);
+    }
+
+    #[test]
+    fn too_many_errors_in_one_block_detected() {
+        let codec = OlscLine::new(8, 2);
+        let original = Line512::from_seed(124);
+        let check = codec.encode(&original);
+        let mut line = original;
+        // 5 errors inside block 0 exceed t = 2.
+        for bit in [0usize, 9, 18, 27, 36] {
+            line.flip_bit(bit);
+        }
+        let d = codec.decode(&mut line, &check);
+        // Majority logic must not silently "succeed" with wrong data: either
+        // it detects, or any claimed correction must be wrong and caught here.
+        match d {
+            OlscDecode::Detected => {}
+            _ => assert_ne!(line, original, "silent miscorrection to clean data"),
+        }
+    }
+
+    #[test]
+    fn checkbit_cell_errors_tolerated() {
+        let codec = Olsc::new(8, 2);
+        let original = random_block(55, codec.data_bits());
+        let mut check = codec.encode(&original);
+        check[5] = !check[5]; // one faulty checkbit cell
+        let mut data = original;
+        let d = codec.decode(&mut data, &check);
+        assert!(!d.is_uncorrectable(), "{d:?}");
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_oversized_t() {
+        Olsc::new(8, 5);
+    }
+}

@@ -1,0 +1,264 @@
+//! Segmented, interleaved parity for cache lines (§4.1 of the paper).
+//!
+//! A 512-bit line is logically divided into 16 interleaved segments of 32
+//! bits; segment `s` contains every bit whose index is congruent to `s`
+//! modulo 16. Interleaving improves coverage for spatially-adjacent multi-bit
+//! soft errors: a burst of up to 16 adjacent flipped bits lands in 16
+//! *distinct* segments and is therefore always detected.
+//!
+//! After a line is classified as stable, Killi keeps only 4 parity bits,
+//! again interleaved (bit `i` in segment `i mod 4`), each protecting a
+//! 128-bit-wide segment.
+
+use crate::bits::{Line512, LINE_BITS};
+
+/// Number of interleaved segments in training mode.
+pub const SEGMENTS_16: usize = 16;
+/// Number of contiguous segments in stable mode.
+pub const SEGMENTS_4: usize = 4;
+
+/// Computes the 16 interleaved segment parities of a line.
+///
+/// Bit `s` of the result is the parity of all line bits `i` with
+/// `i % 16 == s`.
+///
+/// # Examples
+///
+/// ```
+/// use killi_ecc::bits::Line512;
+/// use killi_ecc::parity::seg16;
+///
+/// let mut l = Line512::zero();
+/// l.set_bit(21, true); // 21 % 16 == 5
+/// assert_eq!(seg16(&l), 1 << 5);
+/// ```
+#[inline]
+pub fn seg16(line: &Line512) -> u16 {
+    // XOR-fold the eight words into one, then fold 64 -> 16. Bit j of the
+    // result is the parity of all bits congruent to j mod 16, because both
+    // folds preserve residue classes mod 16 (64 and 16 divide the shifts).
+    let w = line.words().iter().fold(0u64, |a, w| a ^ w);
+    let w = w ^ (w >> 32);
+    let w = w ^ (w >> 16);
+    (w & 0xFFFF) as u16
+}
+
+/// Computes the 4 interleaved stable-mode segment parities of a line.
+///
+/// Bit `q` of the result is the parity of all line bits `i` with
+/// `i % 4 == q` (a 128-bit-wide segment). Interleaving keeps the
+/// stable-mode parity able to detect adjacent multi-bit soft-error bursts,
+/// just like the 16-segment training parity.
+#[inline]
+pub fn seg4(line: &Line512) -> u8 {
+    let w = line.words().iter().fold(0u64, |a, w| a ^ w);
+    let w = w ^ (w >> 32);
+    let w = w ^ (w >> 16);
+    let w = w ^ (w >> 8);
+    let w = w ^ (w >> 4);
+    (w & 0xF) as u8
+}
+
+/// Returns the mask of line bits belonging to interleaved segment `s`.
+///
+/// # Panics
+///
+/// Panics if `s >= 16`.
+pub fn seg16_mask(s: usize) -> Line512 {
+    assert!(s < SEGMENTS_16, "segment {s} out of range");
+    let mut m = Line512::zero();
+    let mut i = s;
+    while i < LINE_BITS {
+        m.set_bit(i, true);
+        i += SEGMENTS_16;
+    }
+    m
+}
+
+/// Returns the mask of line bits belonging to interleaved stable-mode
+/// segment `q`.
+///
+/// # Panics
+///
+/// Panics if `q >= 4`.
+pub fn seg4_mask(q: usize) -> Line512 {
+    assert!(q < SEGMENTS_4, "segment {q} out of range");
+    let mut m = Line512::zero();
+    let mut i = q;
+    while i < LINE_BITS {
+        m.set_bit(i, true);
+        i += SEGMENTS_4;
+    }
+    m
+}
+
+/// Outcome of comparing stored segment parities against parities recomputed
+/// from (possibly corrupted) array content.
+///
+/// The paper's Table 2 distinguishes a match (✓), a mismatch in exactly one
+/// segment (×) and a mismatch in two or more segments (××).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegObservation {
+    /// All segment parities match.
+    Match,
+    /// Exactly one segment mismatches (at the contained segment index).
+    OneSegment(u8),
+    /// Two or more segments mismatch (count contained).
+    MultiSegment(u8),
+}
+
+impl SegObservation {
+    /// Classifies a stored-vs-recomputed parity pair of `n`-bit vectors.
+    fn from_diff(diff: u16) -> Self {
+        match diff.count_ones() {
+            0 => SegObservation::Match,
+            1 => SegObservation::OneSegment(diff.trailing_zeros() as u8),
+            n => SegObservation::MultiSegment(n as u8),
+        }
+    }
+
+    /// Compares a stored 16-bit segment parity with one recomputed from data.
+    pub fn observe16(stored: u16, recomputed: u16) -> Self {
+        Self::from_diff(stored ^ recomputed)
+    }
+
+    /// Compares a stored 4-bit quarter parity with one recomputed from data.
+    pub fn observe4(stored: u8, recomputed: u8) -> Self {
+        Self::from_diff(u16::from(stored ^ recomputed))
+    }
+
+    /// True when at least one segment mismatches.
+    pub fn is_mismatch(&self) -> bool {
+        !matches!(self, SegObservation::Match)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_line_has_zero_parities() {
+        let l = Line512::zero();
+        assert_eq!(seg16(&l), 0);
+        assert_eq!(seg4(&l), 0);
+    }
+
+    #[test]
+    fn seg16_tracks_residue_classes() {
+        for bit in [0usize, 5, 16, 31, 63, 64, 200, 511] {
+            let mut l = Line512::zero();
+            l.set_bit(bit, true);
+            assert_eq!(seg16(&l), 1 << (bit % 16), "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn seg16_matches_masked_parity_definition() {
+        let l = Line512::from_seed(123);
+        let p = seg16(&l);
+        for s in 0..SEGMENTS_16 {
+            let expect = l.masked_parity(&seg16_mask(s));
+            assert_eq!((p >> s) & 1 == 1, expect, "segment {s}");
+        }
+    }
+
+    #[test]
+    fn seg4_matches_masked_parity_definition() {
+        let l = Line512::from_seed(456);
+        let p = seg4(&l);
+        for q in 0..SEGMENTS_4 {
+            let expect = l.masked_parity(&seg4_mask(q));
+            assert_eq!((p >> q) & 1 == 1, expect, "segment {q}");
+        }
+    }
+
+    #[test]
+    fn seg4_detects_adjacent_bursts() {
+        // Up to 4 adjacent flipped bits land in 4 distinct interleaved
+        // segments — always detected in stable mode.
+        let base = Line512::from_seed(77);
+        let stored = seg4(&base);
+        for burst in 1..=4usize {
+            let mut corrupted = base;
+            for b in 0..burst {
+                corrupted.flip_bit(200 + b);
+            }
+            let diff = (stored ^ seg4(&corrupted)).count_ones() as usize;
+            assert_eq!(diff, burst, "burst {burst}");
+        }
+    }
+
+    #[test]
+    fn single_flip_changes_exactly_one_segment() {
+        let base = Line512::from_seed(7);
+        let stored = seg16(&base);
+        let mut corrupted = base;
+        corrupted.flip_bit(37);
+        match SegObservation::observe16(stored, seg16(&corrupted)) {
+            SegObservation::OneSegment(s) => assert_eq!(s, (37 % 16) as u8),
+            other => panic!("expected one-segment mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_flips_same_segment_are_masked() {
+        let base = Line512::from_seed(8);
+        let stored = seg16(&base);
+        let mut corrupted = base;
+        corrupted.flip_bit(5);
+        corrupted.flip_bit(5 + 16); // same residue class
+        assert_eq!(
+            SegObservation::observe16(stored, seg16(&corrupted)),
+            SegObservation::Match
+        );
+    }
+
+    #[test]
+    fn adjacent_burst_always_detected_by_interleaving() {
+        // Any burst of 2..=16 adjacent flips touches distinct segments, so
+        // every flipped bit produces a mismatching segment.
+        let base = Line512::from_seed(9);
+        let stored = seg16(&base);
+        for burst in 2..=16usize {
+            let mut corrupted = base;
+            for b in 0..burst {
+                corrupted.flip_bit(100 + b);
+            }
+            match SegObservation::observe16(stored, seg16(&corrupted)) {
+                SegObservation::MultiSegment(n) => assert_eq!(n as usize, burst),
+                SegObservation::OneSegment(_) if burst == 1 => {}
+                other => panic!("burst {burst}: got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn observation_classification() {
+        assert_eq!(SegObservation::observe16(0b0, 0b0), SegObservation::Match);
+        assert_eq!(
+            SegObservation::observe16(0b100, 0b0),
+            SegObservation::OneSegment(2)
+        );
+        assert_eq!(
+            SegObservation::observe16(0b101, 0b0),
+            SegObservation::MultiSegment(2)
+        );
+        assert!(SegObservation::observe4(0b1, 0b0).is_mismatch());
+        assert!(!SegObservation::observe4(0b11, 0b11).is_mismatch());
+    }
+
+    #[test]
+    fn masks_partition_the_line() {
+        let mut total = 0usize;
+        for s in 0..SEGMENTS_16 {
+            total += seg16_mask(s).count_ones() as usize;
+        }
+        assert_eq!(total, LINE_BITS);
+        let mut total4 = 0usize;
+        for q in 0..SEGMENTS_4 {
+            total4 += seg4_mask(q).count_ones() as usize;
+        }
+        assert_eq!(total4, LINE_BITS);
+    }
+}

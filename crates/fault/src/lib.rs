@@ -1,0 +1,35 @@
+//! Low-voltage SRAM fault modelling for the Killi reproduction.
+//!
+//! The paper's fault data comes from proprietary 14nm FinFET test-chip
+//! measurements; this crate simulates that substrate:
+//!
+//! - [`cell_model`] — the per-cell failure-probability curves of Figure 1,
+//!   calibrated to the aggregates published in the paper,
+//! - [`map`] — persistent stuck-at fault maps with the silicon-observed
+//!   properties (persistence, voltage/frequency monotonicity, masking),
+//! - [`line_stats`] — the per-line 0/1/2+ fault distribution of Figure 2,
+//! - [`soft`] — deterministic transient-error injection,
+//! - [`prob`] — log-space binomial helpers used by the analytic models,
+//! - [`rng`] — the stateless counter RNG everything draws from.
+//!
+//! # Example
+//!
+//! ```
+//! use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+//! use killi_fault::map::FaultMap;
+//!
+//! let model = CellFailureModel::finfet14();
+//! let map = FaultMap::build(1024, &model, NormVdd::LV_0_625, FreqGhz::PEAK, 42);
+//! let faulty_lines = (0..map.lines()).filter(|&l| map.data_fault_count(l) > 0).count();
+//! assert!(faulty_lines < map.lines()); // most lines are fault-free at 0.625 VDD
+//! ```
+
+pub mod cell_model;
+pub mod line_stats;
+pub mod map;
+pub mod prob;
+pub mod rng;
+pub mod soft;
+
+pub use cell_model::{CellFailureModel, FreqGhz, NormVdd};
+pub use map::{CellFault, FaultMap, LineId};

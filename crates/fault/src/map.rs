@@ -1,0 +1,457 @@
+//! Persistent low-voltage fault maps.
+//!
+//! A fault map assigns every SRAM cell of a cache a *stuck-at* fault iff its
+//! per-cell uniform threshold (a pure hash of `(seed, line, cell)`) falls
+//! below the voltage/frequency-dependent failure probability. This gives the
+//! properties the paper measured on silicon (§3):
+//!
+//! - **persistence** — the same map is seen by every access at a given
+//!   operating point,
+//! - **voltage/frequency monotonicity** — a cell failing at `V` fails at all
+//!   lower voltages (same threshold, larger `p`),
+//! - **masking** — each faulty cell is stuck at a random polarity, so a
+//!   write whose bit matches the stuck value is *masked* until a later write
+//!   flips it (the §5.6.2 hazard emerges naturally).
+
+use killi_ecc::bch::DectedCode;
+use killi_ecc::bits::{Line512, LINE_BITS};
+use killi_ecc::secded::SecdedCode;
+
+use crate::cell_model::{CellFailureModel, FailureKind, FreqGhz, NormVdd};
+use crate::rng::{hash3, to_unit};
+
+/// Cell-index layout of a protected line. Data cells come first; metadata
+/// cells follow so every protection scheme draws its faults from the same
+/// per-line cell pool.
+pub mod layout {
+    /// Cells `0..512`: the data payload.
+    pub const DATA: std::ops::Range<u16> = 0..512;
+    /// Cells `512..528`: the 16 training-mode parity bits (the 4
+    /// stable-mode parity bits reuse cells `512..516`).
+    pub const PARITY16: std::ops::Range<u16> = 512..528;
+    /// Cells `512..516`: the 4 stable-mode parity bits.
+    pub const PARITY4: std::ops::Range<u16> = 512..516;
+    /// Cells `528..539`: SECDED checkbits (schemes storing them in the LV
+    /// array).
+    pub const SECDED: std::ops::Range<u16> = 528..539;
+    /// Cells `539..560`: DEC-TED checkbits (the DECTED-per-line baseline).
+    pub const DECTED: std::ops::Range<u16> = 539..560;
+    /// Total cells generated per line.
+    pub const CELLS_PER_LINE: u16 = 560;
+}
+
+/// A persistent stuck-at fault in one cell of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellFault {
+    /// Cell index within the line (see [`layout`]).
+    pub cell: u16,
+    /// The value the cell is stuck at.
+    pub stuck: bool,
+}
+
+/// Identifies a physical line in the cache (set-major: `set * ways + way`).
+pub type LineId = usize;
+
+/// The fault population of a cache at one operating point.
+#[derive(Debug, Clone)]
+pub struct FaultMap {
+    faults: Vec<Box<[CellFault]>>,
+    p_cell_median: f64,
+    mean_p_line: f64,
+    vdd: NormVdd,
+    freq: FreqGhz,
+    seed: u64,
+}
+
+impl FaultMap {
+    /// Builds the fault map for `lines` physical lines at the given
+    /// operating point.
+    pub fn build(
+        lines: usize,
+        model: &CellFailureModel,
+        vdd: NormVdd,
+        freq: FreqGhz,
+        seed: u64,
+    ) -> Self {
+        let mut faults = Vec::with_capacity(lines);
+        let mut scratch = Vec::new();
+        let mut mean_p_line = 0.0;
+        for line in 0..lines {
+            // Per-line variation draw, frozen across voltages so fault
+            // populations at different operating points stay nested.
+            let z = standard_normal(hash3(seed, line as u64, 0xF00D));
+            let p = model.p_cell_for_line(vdd, freq, FailureKind::Combined, z);
+            mean_p_line += p;
+            scratch.clear();
+            for cell in 0..layout::CELLS_PER_LINE {
+                let h = hash3(seed, line as u64, u64::from(cell));
+                if to_unit(h) < p {
+                    scratch.push(CellFault {
+                        cell,
+                        stuck: h & (1 << 63) != 0,
+                    });
+                }
+            }
+            faults.push(scratch.as_slice().into());
+        }
+        FaultMap {
+            faults,
+            p_cell_median: model.p_cell_median(vdd, freq, FailureKind::Combined),
+            mean_p_line: mean_p_line / lines.max(1) as f64,
+            vdd,
+            freq,
+            seed,
+        }
+    }
+
+    /// A map with an explicit fault population (targeted fault-injection
+    /// tests and ablations).
+    pub fn from_faults(faults: Vec<Vec<CellFault>>) -> Self {
+        FaultMap {
+            faults: faults.into_iter().map(|v| v.into_boxed_slice()).collect(),
+            p_cell_median: 0.0,
+            mean_p_line: 0.0,
+            vdd: NormVdd::NOMINAL,
+            freq: FreqGhz::PEAK,
+            seed: 0,
+        }
+    }
+
+    /// A map with no faults (nominal voltage baseline).
+    pub fn fault_free(lines: usize) -> Self {
+        FaultMap {
+            faults: vec![Box::from([]); lines],
+            p_cell_median: 0.0,
+            mean_p_line: 0.0,
+            vdd: NormVdd::NOMINAL,
+            freq: FreqGhz::PEAK,
+            seed: 0,
+        }
+    }
+
+    /// Number of physical lines covered.
+    pub fn lines(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The median per-cell failure probability the map was drawn from.
+    pub fn p_cell_median(&self) -> f64 {
+        self.p_cell_median
+    }
+
+    /// The realized mean per-line cell failure probability of this map.
+    pub fn mean_p_line(&self) -> f64 {
+        self.mean_p_line
+    }
+
+    /// The operating point of this map.
+    pub fn operating_point(&self) -> (NormVdd, FreqGhz) {
+        (self.vdd, self.freq)
+    }
+
+    /// The seed the map was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All faults of a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn line(&self, line: LineId) -> &[CellFault] {
+        &self.faults[line]
+    }
+
+    /// Number of faults among a line's cells within `range`.
+    pub fn count_in(&self, line: LineId, range: std::ops::Range<u16>) -> usize {
+        self.faults[line]
+            .iter()
+            .filter(|f| range.contains(&f.cell))
+            .count()
+    }
+
+    /// Number of faulty *data* cells in a line.
+    pub fn data_fault_count(&self, line: LineId) -> usize {
+        self.count_in(line, layout::DATA)
+    }
+
+    /// Applies stuck-at corruption to a line's data payload, as the SRAM
+    /// array would store it.
+    pub fn corrupt_data(&self, line: LineId, data: &mut Line512) {
+        for f in self.faults[line].iter() {
+            if f.cell < LINE_BITS as u16 {
+                data.set_bit(f.cell as usize, f.stuck);
+            }
+        }
+    }
+
+    /// Applies stuck-at corruption to the 16 training-mode parity cells.
+    pub fn corrupt_parity16(&self, line: LineId, parity: u16) -> u16 {
+        let mut out = parity;
+        for f in self.faults[line].iter() {
+            if layout::PARITY16.contains(&f.cell) {
+                let bit = f.cell - layout::PARITY16.start;
+                if f.stuck {
+                    out |= 1 << bit;
+                } else {
+                    out &= !(1 << bit);
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies stuck-at corruption to the 4 stable-mode parity cells.
+    pub fn corrupt_parity4(&self, line: LineId, parity: u8) -> u8 {
+        let mut out = parity;
+        for f in self.faults[line].iter() {
+            if layout::PARITY4.contains(&f.cell) {
+                let bit = f.cell - layout::PARITY4.start;
+                if f.stuck {
+                    out |= 1 << bit;
+                } else {
+                    out &= !(1 << bit);
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies stuck-at corruption to SECDED checkbit cells (for schemes
+    /// storing checkbits in the LV array).
+    pub fn corrupt_secded(&self, line: LineId, code: SecdedCode) -> SecdedCode {
+        let mut out = code.0;
+        for f in self.faults[line].iter() {
+            if layout::SECDED.contains(&f.cell) {
+                let bit = f.cell - layout::SECDED.start;
+                if f.stuck {
+                    out |= 1 << bit;
+                } else {
+                    out &= !(1 << bit);
+                }
+            }
+        }
+        SecdedCode(out)
+    }
+
+    /// Applies stuck-at corruption to DEC-TED checkbit cells.
+    pub fn corrupt_dected(&self, line: LineId, code: DectedCode) -> DectedCode {
+        let mut out = code.0;
+        for f in self.faults[line].iter() {
+            if layout::DECTED.contains(&f.cell) {
+                let bit = u32::from(f.cell - layout::DECTED.start);
+                if f.stuck {
+                    out |= 1 << bit;
+                } else {
+                    out &= !(1 << bit);
+                }
+            }
+        }
+        DectedCode(out)
+    }
+
+    /// Histogram of data-fault counts per line: `hist[k]` = number of lines
+    /// with exactly `k` faulty data cells (last bucket aggregates the rest).
+    pub fn data_fault_histogram(&self, buckets: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; buckets];
+        for line in 0..self.lines() {
+            let n = self.data_fault_count(line).min(buckets - 1);
+            hist[n] += 1;
+        }
+        hist
+    }
+}
+
+/// Converts 64 uniform bits to a standard-normal deviate via the inverse
+/// CDF (Acklam's rational approximation; far more accuracy than the fault
+/// model needs).
+fn standard_normal(h: u64) -> f64 {
+    let u = crate::rng::to_unit(h).clamp(1e-12, 1.0 - 1e-12);
+    // Coefficients of Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if u < P_LOW {
+        let q = (-2.0 * u.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if u <= 1.0 - P_LOW {
+        let q = u - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - u).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CellFailureModel {
+        CellFailureModel::finfet14()
+    }
+
+    #[test]
+    fn fault_free_map_is_empty() {
+        let m = FaultMap::fault_free(64);
+        assert_eq!(m.lines(), 64);
+        for l in 0..64 {
+            assert!(m.line(l).is_empty());
+            assert_eq!(m.data_fault_count(l), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = FaultMap::build(128, &model(), NormVdd(0.575), FreqGhz::PEAK, 7);
+        let b = FaultMap::build(128, &model(), NormVdd(0.575), FreqGhz::PEAK, 7);
+        let c = FaultMap::build(128, &model(), NormVdd(0.575), FreqGhz::PEAK, 8);
+        for l in 0..128 {
+            assert_eq!(a.line(l), b.line(l));
+        }
+        let total_a: usize = (0..128).map(|l| a.line(l).len()).sum();
+        let total_c: usize = (0..128).map(|l| c.line(l).len()).sum();
+        assert_ne!((total_a, a.seed()), (total_c, c.seed()));
+    }
+
+    #[test]
+    fn voltage_monotone_inclusion() {
+        let hi = FaultMap::build(256, &model(), NormVdd(0.625), FreqGhz::PEAK, 42);
+        let lo = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz::PEAK, 42);
+        for l in 0..256 {
+            for f in hi.line(l) {
+                assert!(
+                    lo.line(l).contains(f),
+                    "fault {f:?} at 0.625 missing at 0.575 (line {l})"
+                );
+            }
+        }
+        let total_hi: usize = (0..256).map(|l| hi.line(l).len()).sum();
+        let total_lo: usize = (0..256).map(|l| lo.line(l).len()).sum();
+        assert!(total_lo > total_hi);
+    }
+
+    #[test]
+    fn frequency_monotone_inclusion() {
+        let slow = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz(0.4), 42);
+        let fast = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz(1.0), 42);
+        for l in 0..256 {
+            for f in slow.line(l) {
+                assert!(fast.line(l).contains(f));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rate_tracks_realized_line_rates() {
+        let lines = 2000;
+        let m = FaultMap::build(lines, &model(), NormVdd(0.575), FreqGhz::PEAK, 1);
+        let total: usize = (0..lines).map(|l| m.line(l).len()).sum();
+        let expected = m.mean_p_line() * lines as f64 * f64::from(layout::CELLS_PER_LINE);
+        let ratio = total as f64 / expected;
+        assert!((0.9..1.1).contains(&ratio), "ratio = {ratio}");
+        // Heavy tail: the mean line rate far exceeds the median.
+        assert!(m.mean_p_line() > m.p_cell_median());
+    }
+
+    #[test]
+    fn corrupt_data_sets_stuck_values() {
+        let m = FaultMap::build(512, &model(), NormVdd(0.55), FreqGhz::PEAK, 3);
+        // Find a line with at least one data fault.
+        let line = (0..512)
+            .find(|&l| m.data_fault_count(l) > 0)
+            .expect("a faulty line at 0.55 VDD");
+        let mut data = Line512::from_seed(99);
+        m.corrupt_data(line, &mut data);
+        for f in m.line(line) {
+            if f.cell < 512 {
+                assert_eq!(data.bit(f.cell as usize), f.stuck);
+            }
+        }
+        // Corruption is idempotent (persistence).
+        let snapshot = data;
+        m.corrupt_data(line, &mut data);
+        assert_eq!(data, snapshot);
+    }
+
+    #[test]
+    fn masked_fault_leaves_data_intact() {
+        let m = FaultMap::build(2048, &model(), NormVdd(0.625), FreqGhz::PEAK, 5);
+        // A write whose bit already equals the stuck value is masked.
+        let line = (0..2048)
+            .find(|&l| m.data_fault_count(l) == 1)
+            .expect("a single-fault line");
+        let f = m
+            .line(line)
+            .iter()
+            .find(|f| f.cell < 512)
+            .copied()
+            .unwrap();
+        let mut data = Line512::zero();
+        data.set_bit(f.cell as usize, f.stuck); // matches stuck polarity
+        let original = data;
+        m.corrupt_data(line, &mut data);
+        assert_eq!(data, original, "matching write must be masked");
+    }
+
+    #[test]
+    fn parity_and_checkbit_corruption_respects_layout() {
+        let m = FaultMap::build(4096, &model(), NormVdd(0.5), FreqGhz::PEAK, 11);
+        let line = (0..4096)
+            .find(|&l| m.count_in(l, layout::PARITY16) > 0)
+            .expect("a parity-cell fault at 0.5 VDD");
+        let corrupted = m.corrupt_parity16(line, 0);
+        let stuck_ones = m
+            .line(line)
+            .iter()
+            .filter(|f| layout::PARITY16.contains(&f.cell) && f.stuck)
+            .count() as u32;
+        assert_eq!(corrupted.count_ones(), stuck_ones);
+    }
+
+    #[test]
+    fn histogram_sums_to_line_count() {
+        let m = FaultMap::build(1000, &model(), NormVdd(0.6), FreqGhz::PEAK, 2);
+        let hist = m.data_fault_histogram(4);
+        assert_eq!(hist.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn nominal_voltage_has_no_faults() {
+        let m = FaultMap::build(500, &model(), NormVdd::NOMINAL, FreqGhz::PEAK, 9);
+        let total: usize = (0..500).map(|l| m.line(l).len()).sum();
+        assert_eq!(total, 0);
+    }
+}

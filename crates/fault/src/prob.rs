@@ -1,0 +1,174 @@
+//! Numerically-stable binomial probability helpers.
+//!
+//! The analytic models (Figure 2 line statistics, Figure 6 classification
+//! coverage, Table 7 capacity targets) all reduce to binomial tail sums over
+//! hundreds of cells with very small per-cell probabilities, so everything
+//! is computed in log space with a Lanczos log-gamma.
+
+/// Lanczos coefficients (g = 7, n = 9), standard double-precision set.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain: x = {x}");
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = LANCZOS[0];
+    let t = x + LANCZOS_G + 0.5;
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of the binomial coefficient C(n, k).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "C({n}, {k}) undefined");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Binomial point mass P[X = k] for X ~ Binomial(n, p).
+pub fn binom_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln_1p_safe();
+    ln.exp()
+}
+
+/// P[X <= k] for X ~ Binomial(n, p).
+pub fn binom_cdf(n: u64, k: u64, p: f64) -> f64 {
+    (0..=k.min(n)).map(|i| binom_pmf(n, i, p)).sum::<f64>().min(1.0)
+}
+
+/// P[X >= k] for X ~ Binomial(n, p), summed from the small tail for
+/// accuracy.
+pub fn binom_sf(n: u64, k: u64, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    // Sum whichever side has fewer terms.
+    if 2 * k > n {
+        (k..=n).map(|i| binom_pmf(n, i, p)).sum::<f64>().min(1.0)
+    } else {
+        (1.0 - binom_cdf(n, k - 1, p)).max(0.0)
+    }
+}
+
+/// P[X is even and X >= 2] — probability of a nonzero even count, needed by
+/// the paper's segmented-parity failure analysis (§5.3).
+pub fn binom_even_nonzero(n: u64, p: f64) -> f64 {
+    // P[even] = (1 + (1-2p)^n) / 2; subtract P[0].
+    let p_even = 0.5 * (1.0 + (1.0 - 2.0 * p).powi(n as i32));
+    (p_even - binom_pmf(n, 0, p)).max(0.0)
+}
+
+/// P[X is odd] for X ~ Binomial(n, p).
+pub fn binom_odd(n: u64, p: f64) -> f64 {
+    0.5 * (1.0 - (1.0 - 2.0 * p).powi(n as i32))
+}
+
+trait Ln1pSafe {
+    fn ln_1p_safe(self) -> f64;
+}
+
+impl Ln1pSafe for f64 {
+    /// `ln(self)` computed as `ln_1p(self - 1)` for values near 1.
+    fn ln_1p_safe(self) -> f64 {
+        (self - 1.0).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, fact) in [(1u64, 1f64), (2, 1.0), (3, 2.0), (5, 24.0), (11, 3_628_800.0)] {
+            let got = ln_gamma(n as f64);
+            assert!(
+                (got - fact.ln()).abs() < 1e-9,
+                "ln_gamma({n}) = {got}, want {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(523, 1) - 523f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(10, 0), 0.0);
+        assert_eq!(ln_choose(10, 10), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3f64), (523, 0.001), (33, 0.05)] {
+            let total: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn cdf_and_sf_are_complementary() {
+        let (n, p) = (523u64, 0.0006f64);
+        for k in [1u64, 2, 3, 12] {
+            let c = binom_cdf(n, k - 1, p);
+            let s = binom_sf(n, k, p);
+            assert!((c + s - 1.0).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn even_odd_partition() {
+        let (n, p) = (33u64, 0.01f64);
+        let even_nz = binom_even_nonzero(n, p);
+        let odd = binom_odd(n, p);
+        let zero = binom_pmf(n, 0, p);
+        assert!((even_nz + odd + zero - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(binom_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binom_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binom_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binom_sf(10, 0, 0.5), 1.0);
+        assert_eq!(binom_sf(10, 11, 0.5), 0.0);
+    }
+
+}

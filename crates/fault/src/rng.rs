@@ -1,0 +1,115 @@
+//! Deterministic counter-based pseudo-random primitives.
+//!
+//! Fault maps must be *pure functions* of (seed, voltage, frequency) so that
+//! the paper's monotonicity property — a cell failing at voltage `V` fails at
+//! every voltage below `V` — holds by construction: each cell draws one
+//! uniform threshold from a stateless hash and is faulty whenever the
+//! voltage-dependent failure probability exceeds it.
+
+/// SplitMix64 finalizer: avalanches a 64-bit value.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless hash of a (seed, a, b) triple.
+#[inline]
+pub fn hash3(seed: u64, a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ a.wrapping_mul(0xA24B_AED4_963E_E407)) ^ b)
+}
+
+/// Maps a hash to a uniform double in `[0, 1)`.
+#[inline]
+pub fn to_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A small, fast, seedable stream RNG (SplitMix64 sequence) for places that
+/// want sequential draws rather than counter addressing.
+#[derive(Debug, Clone)]
+pub struct StreamRng {
+    state: u64,
+}
+
+impl StreamRng {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        StreamRng {
+            state: splitmix64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn next_unit(&mut self) -> f64 {
+        to_unit(self.next_u64())
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for simulation bounds << 2^64.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash3_is_deterministic_and_sensitive() {
+        assert_eq!(hash3(1, 2, 3), hash3(1, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 3, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(2, 2, 3));
+    }
+
+    #[test]
+    fn to_unit_in_range() {
+        for x in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            let u = to_unit(splitmix64(x));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let mut a = StreamRng::new(7);
+        let mut b = StreamRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn stream_unit_mean_is_about_half() {
+        let mut r = StreamRng::new(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_unit()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = StreamRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Storage-area model: Tables 4, 5 and 7.
+//!
+//! All schemes are charged for the bits they add around a 2 MB L2 (32768
+//! lines of 512 data bits). Per-line schemes add checkbits plus one disable
+//! bit per line; Killi adds 2 DFH + 4 parity bits per line plus the ECC
+//! cache, whose entry is `tag + payload`:
+//!
+//! - the tag is 18 bits — the paper's 41-bit entry minus its 23 payload
+//!   bits: L2 index (11) + way (4) + valid/LRU bookkeeping (3),
+//! - the payload holds the training metadata: 12 spill-over parity bits
+//!   plus the ECC checkbits, except that any code of <= 23 bits fits in
+//!   the baseline 11 + 12 layout by the §5.2 bit-reuse trick (which is why
+//!   Killi-with-DECTED costs the same as Killi-with-SECDED in Table 4).
+
+/// Checkbit counts of the codes the paper tabulates.
+pub mod checkbits {
+    /// SECDED over 512 data bits.
+    pub const SECDED: usize = 11;
+    /// DEC-TED BCH.
+    pub const DECTED: usize = 21;
+    /// TEC-QED BCH (3x degree-10 minimal polynomials + parity).
+    pub const TECQED: usize = 31;
+    /// 6EC-7ED BCH.
+    pub const SIX_EC: usize = 61;
+    /// OLSC as configured for MS-ECC in the paper (Table 5 charges MS-ECC
+    /// 38.6 % of the L2 data bits).
+    pub const OLSC_PAPER: usize = 197;
+    /// OLSC(m = 8, t = 2) as actually implemented in `killi-ecc`.
+    pub const OLSC_IMPL: usize = 256;
+}
+
+/// Geometry the model is evaluated for.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaModel {
+    /// L2 lines (paper: 32768).
+    pub l2_lines: usize,
+    /// Data bits per line.
+    pub line_bits: usize,
+    /// L2 sets (for the ECC-cache tag width).
+    pub l2_sets: usize,
+    /// L2 ways.
+    pub l2_ways: usize,
+}
+
+impl AreaModel {
+    /// The paper's 2 MB, 16-way L2.
+    pub fn paper() -> Self {
+        AreaModel {
+            l2_lines: 32768,
+            line_bits: 512,
+            l2_sets: 2048,
+            l2_ways: 16,
+        }
+    }
+
+    /// Total added bits for a per-line scheme: checkbits + 1 disable bit
+    /// per line.
+    pub fn per_line_bits(&self, checkbits: usize) -> usize {
+        self.l2_lines * (checkbits + 1)
+    }
+
+    /// The ECC-cache entry width for a given training code (Killi).
+    pub fn ecc_entry_bits(&self, code_checkbits: usize) -> usize {
+        let tag = self.ecc_tag_bits();
+        // 11 SECDED + 12 parity = 23 payload bits; codes up to 23 bits
+        // reuse that space (§5.2), larger codes keep the 12 parity bits
+        // alongside their own checkbits.
+        let baseline_payload = checkbits::SECDED + 12;
+        let payload = if code_checkbits <= baseline_payload {
+            baseline_payload
+        } else {
+            code_checkbits + 12
+        };
+        tag + payload
+    }
+
+    /// ECC-cache tag width: index + way + valid/LRU bookkeeping.
+    pub fn ecc_tag_bits(&self) -> usize {
+        (self.l2_sets.trailing_zeros() + self.l2_ways.trailing_zeros()) as usize + 3
+    }
+
+    /// Total added bits for Killi at an ECC-cache ratio with a given
+    /// ECC-cache code.
+    pub fn killi_bits(&self, ratio: usize, code_checkbits: usize) -> usize {
+        // 2 DFH bits (tag array) + 4 parity bits (data array) per line.
+        let per_line = self.l2_lines * (2 + 4);
+        let entries = self.l2_lines / ratio;
+        per_line + entries * self.ecc_entry_bits(code_checkbits)
+    }
+
+    /// Area of a bit count in KiB.
+    pub fn kib(bits: usize) -> f64 {
+        bits as f64 / 8.0 / 1024.0
+    }
+
+    /// Ratio of a scheme's added bits to the per-line SECDED baseline
+    /// (Tables 4 and 5 normalize this way).
+    pub fn ratio_to_secded(&self, bits: usize) -> f64 {
+        bits as f64 / self.per_line_bits(checkbits::SECDED) as f64
+    }
+
+    /// Added bits as a fraction of the L2 data array (Table 5's "% area
+    /// over L2" row).
+    pub fn fraction_of_l2(&self, bits: usize) -> f64 {
+        bits as f64 / (self.l2_lines * self.line_bits) as f64
+    }
+
+    /// Killi-with-OLSC area relative to MS-ECC for Table 7's capacity-
+    /// matching configurations.
+    pub fn killi_olsc_vs_msecc(&self, ratio: usize) -> f64 {
+        let killi = self.killi_bits(ratio, checkbits::OLSC_PAPER);
+        let msecc = self.l2_lines * (checkbits::OLSC_PAPER + 1);
+        killi as f64 / msecc as f64
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> AreaModel {
+        AreaModel::paper()
+    }
+
+    #[test]
+    fn ecc_cache_entry_is_41_bits() {
+        // Table 3: "ECC cache line size 41 bits".
+        assert_eq!(m().ecc_entry_bits(checkbits::SECDED), 41);
+        assert_eq!(m().ecc_entry_bits(checkbits::DECTED), 41, "§5.2 reuse");
+    }
+
+    #[test]
+    fn smallest_ecc_cache_is_656_bytes() {
+        // §5.2: "656B for the 1:256 ratio".
+        let entries = 32768 / 256;
+        let bytes = entries * m().ecc_entry_bits(checkbits::SECDED) / 8;
+        assert_eq!(bytes, 656);
+    }
+
+    #[test]
+    fn killi_total_area_matches_section_5_4() {
+        // "the Killi area overhead ranges from 24.6KB (1:256) to 34.25KB
+        // (1:16)".
+        let lo = AreaModel::kib(m().killi_bits(256, checkbits::SECDED));
+        let hi = AreaModel::kib(m().killi_bits(16, checkbits::SECDED));
+        assert!((lo - 24.64).abs() < 0.1, "1:256 = {lo} KiB");
+        assert!((hi - 34.25).abs() < 0.1, "1:16 = {hi} KiB");
+    }
+
+    #[test]
+    fn table5_ratios() {
+        let model = m();
+        let secded = model.per_line_bits(checkbits::SECDED);
+        assert!((model.ratio_to_secded(secded) - 1.0).abs() < 1e-12);
+        let dected = model.per_line_bits(checkbits::DECTED);
+        assert!((model.ratio_to_secded(dected) - 1.83).abs() < 0.08, "paper: 1.9");
+        for (ratio, paper) in [(256usize, 0.51), (128, 0.52), (64, 0.55), (32, 0.60), (16, 0.71)]
+        {
+            let killi = model.killi_bits(ratio, checkbits::SECDED);
+            let r = model.ratio_to_secded(killi);
+            assert!((r - paper).abs() < 0.02, "1:{ratio}: {r} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn table5_percent_over_l2() {
+        let model = m();
+        assert!((model.fraction_of_l2(model.per_line_bits(checkbits::SECDED)) - 0.023).abs() < 0.001);
+        assert!((model.fraction_of_l2(model.per_line_bits(checkbits::DECTED)) - 0.043).abs() < 0.001);
+        let msecc = model.per_line_bits(checkbits::OLSC_PAPER);
+        assert!((model.fraction_of_l2(msecc) - 0.386).abs() < 0.003);
+        let killi = model.killi_bits(256, checkbits::SECDED);
+        assert!((model.fraction_of_l2(killi) - 0.012).abs() < 0.001);
+    }
+
+    #[test]
+    fn table4_stronger_codes() {
+        let model = m();
+        for (code, cases) in [
+            (checkbits::DECTED, [(256usize, 0.51), (16, 0.71)]),
+            (checkbits::TECQED, [(256, 0.52), (16, 0.82)]),
+            (checkbits::SIX_EC, [(256, 0.53), (16, 0.97)]),
+        ] {
+            for (ratio, paper) in cases {
+                let r = model.ratio_to_secded(model.killi_bits(ratio, code));
+                assert!(
+                    (r - paper).abs() < 0.03,
+                    "code {code} 1:{ratio}: {r} vs paper {paper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table7_killi_olsc_vs_msecc() {
+        let model = m();
+        // 0.600 VDD: ECC cache protects 1 of 8 lines; paper: 17 %.
+        let at_0600 = model.killi_olsc_vs_msecc(8);
+        assert!((at_0600 - 0.17).abs() < 0.02, "1:8 = {at_0600}");
+        // 0.575 VDD: 1 of 2 lines; paper: 65 %.
+        let at_0575 = model.killi_olsc_vs_msecc(2);
+        assert!((at_0575 - 0.65).abs() < 0.05, "1:2 = {at_0575}");
+    }
+
+    #[test]
+    fn killi_cheaper_than_secded_per_line_even_with_6ec7ed_at_1_16() {
+        // §5.4's headline claim.
+        let model = m();
+        let killi = model.killi_bits(16, checkbits::SIX_EC);
+        assert!(killi < model.per_line_bits(checkbits::SECDED));
+    }
+}

@@ -1,0 +1,187 @@
+//! Analytic fault-classification coverage — the §5.3 equations behind
+//! Figure 6.
+//!
+//! The paper derives the probability that each technique correctly
+//! determines whether a line has a multi-bit failure, *without* MBIST
+//! pre-characterization. Killi fails only when segmented parity and SECDED
+//! fail simultaneously; each baseline fails when the error count exceeds
+//! its detection capability. The formulas below follow the paper's
+//! derivation literally (same simplifications: SECDED "fails" at >= 3
+//! errors; DECTED detects exactly up to 3; MS-ECC up to 11).
+
+use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::prob::{binom_odd, binom_pmf, binom_sf};
+
+/// Bits protected by SECDED: 512 data + 11 checkbits.
+const N_SECDED: u64 = 523;
+/// Bits protected by DEC-TED: 512 data + 21 checkbits.
+const N_DECTED: u64 = 533;
+/// Interleaved segments per line.
+const SEGMENTS: u64 = 16;
+/// Bits per segment including its parity bit (32 data + 1 parity).
+const SEG_BITS: u64 = 33;
+
+/// P[SECDED fails] = P[>= 3 errors among the 523 covered bits].
+pub fn p_fail_secded(p_cell: f64) -> f64 {
+    binom_sf(N_SECDED, 3, p_cell)
+}
+
+/// P[a 33-bit segment has zero errors].
+fn p_seg_zero(p_cell: f64) -> f64 {
+    (1.0 - p_cell).powi(SEG_BITS as i32)
+}
+
+/// P[a segment has a nonzero even number of errors] (parity-silent).
+fn p_seg_even(p_cell: f64) -> f64 {
+    killi_fault::prob::binom_even_nonzero(SEG_BITS, p_cell)
+}
+
+/// P[a segment has an odd number of errors >= 3] (parity sees one
+/// mismatch but under-counts).
+fn p_seg_odd3(p_cell: f64) -> f64 {
+    (binom_odd(SEG_BITS, p_cell) - binom_pmf(SEG_BITS, 1, p_cell)).max(0.0)
+}
+
+/// P[segmented parity mis-classifies the line], per the paper's
+/// composition: one segment with >= 3 (odd) errors and the rest clean, or
+/// some segments with even error counts and the rest clean.
+pub fn p_fail_seg_parity(p_cell: f64) -> f64 {
+    let p0 = p_seg_zero(p_cell);
+    let pe = p_seg_even(p_cell);
+    let comb = |n: u64, k: u64| -> f64 { killi_fault::prob::ln_choose(n, k).exp() };
+    // P^n_0 and P^n_even as the paper defines them (binomial point masses).
+    let pn_zero =
+        |n: u64| comb(SEGMENTS, n) * p0.powi(n as i32) * (1.0 - p0).powi((SEGMENTS - n) as i32);
+    let pn_even =
+        |n: u64| comb(SEGMENTS, n) * pe.powi(n as i32) * (1.0 - pe).powi((SEGMENTS - n) as i32);
+    let mut fail = pn_zero(15) * p_seg_odd3(p_cell);
+    for i in 0..SEGMENTS {
+        fail += pn_even(SEGMENTS - i) * pn_zero(i);
+    }
+    fail.min(1.0)
+}
+
+/// P[Killi mis-classifies a line]: both detectors must fail.
+pub fn p_fail_killi(p_cell: f64) -> f64 {
+    p_fail_secded(p_cell) * p_fail_seg_parity(p_cell)
+}
+
+/// Coverage (fraction of lines classified correctly) per technique.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// 16-bit segmented parity alone.
+    pub parity16: f64,
+    /// SECDED alone.
+    pub secded: f64,
+    /// DEC-TED (detects up to 3 errors; checkbits also fallible).
+    pub dected: f64,
+    /// MS-ECC (detects up to 11 errors in the line).
+    pub msecc: f64,
+    /// FLAIR during training (DMR + SECDED: both copies must fail).
+    pub flair: f64,
+    /// Killi (segmented parity x SECDED).
+    pub killi: f64,
+}
+
+/// Computes the Figure 6 coverage numbers at a per-cell failure
+/// probability.
+pub fn coverage(p_cell: f64) -> Coverage {
+    let secded_fail = p_fail_secded(p_cell);
+    // DMR escapes detection only when both copies corrupt *identically*:
+    // each bit pair agrees with probability p^2 + (1-p)^2, and at least one
+    // agreed-upon bit must be wrong.
+    let agree = (p_cell * p_cell + (1.0 - p_cell) * (1.0 - p_cell)).powi(N_SECDED as i32);
+    let clean = (1.0 - p_cell).powi(2 * N_SECDED as i32);
+    let dmr_fail = (agree - clean).max(0.0);
+    Coverage {
+        parity16: 1.0 - p_fail_seg_parity(p_cell),
+        secded: 1.0 - secded_fail,
+        dected: 1.0 - binom_sf(N_DECTED, 4, p_cell),
+        msecc: 1.0 - binom_sf(N_SECDED, 12, p_cell),
+        flair: 1.0 - secded_fail * dmr_fail,
+        killi: 1.0 - p_fail_killi(p_cell),
+    }
+}
+
+/// Coverage at a normalized voltage under the default 1 GHz fault model,
+/// averaged over the per-line variation mixture.
+pub fn coverage_at(model: &CellFailureModel, vdd: NormVdd) -> Coverage {
+    let freq = FreqGhz::PEAK;
+    Coverage {
+        parity16: model.mix(vdd, freq, |p| coverage(p).parity16),
+        secded: model.mix(vdd, freq, |p| coverage(p).secded),
+        dected: model.mix(vdd, freq, |p| coverage(p).dected),
+        msecc: model.mix(vdd, freq, |p| coverage(p).msecc),
+        flair: model.mix(vdd, freq, |p| coverage(p).flair),
+        killi: model.mix(vdd, freq, |p| coverage(p).killi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_rate_means_full_coverage() {
+        let c = coverage(0.0);
+        for v in [c.parity16, c.secded, c.dected, c.msecc, c.flair, c.killi] {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn killi_beats_its_components() {
+        for p in [1e-4, 1e-3, 1e-2] {
+            let c = coverage(p);
+            assert!(c.killi >= c.secded, "p = {p}");
+            assert!(c.killi >= c.parity16, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn strength_ordering_of_plain_codes() {
+        for p in [1e-3, 5e-3, 2e-2] {
+            let c = coverage(p);
+            assert!(c.msecc >= c.dected, "p = {p}");
+            assert!(c.dected >= c.secded, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn all_techniques_cover_everything_above_0_6_vdd() {
+        // "Up to 0.6 x VDD, all techniques correctly classify all lines."
+        let model = CellFailureModel::finfet14();
+        let c = coverage_at(&model, NormVdd(0.65));
+        for v in [c.parity16, c.secded, c.dected, c.msecc, c.flair, c.killi] {
+            assert!(v > 0.999999, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn killi_and_flair_stay_near_100_at_low_voltage() {
+        // Figure 6: below 0.6 VDD only Killi and FLAIR remain ~100 %.
+        let model = CellFailureModel::finfet14();
+        let c = coverage_at(&model, NormVdd(0.55));
+        assert!(c.killi > 0.99, "killi = {}", c.killi);
+        assert!(c.flair > 0.99, "flair = {}", c.flair);
+        assert!(c.secded < c.killi);
+    }
+
+    #[test]
+    fn coverage_degrades_monotonically() {
+        let mut prev = 2.0;
+        for p in [1e-5, 1e-4, 1e-3, 1e-2, 5e-2] {
+            let c = coverage(p);
+            assert!(c.secded <= prev);
+            prev = c.secded;
+        }
+    }
+
+    #[test]
+    fn seg_parity_blind_spots_are_rare_but_real() {
+        let p = 1e-2;
+        let f = p_fail_seg_parity(p);
+        assert!(f > 0.0, "even-error patterns must register");
+        assert!(f < 0.1, "but remain rare: {f}");
+    }
+}

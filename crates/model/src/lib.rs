@@ -1,0 +1,24 @@
+//! Analytic models backing the paper's non-simulation results.
+//!
+//! - [`coverage`] — the §5.3 classification-coverage equations (Figure 6),
+//! - [`area`] — storage-area arithmetic for every scheme (Tables 4, 5, 7),
+//! - [`power`] — the V²-scaled, activity-driven power model (Table 6),
+//! - [`sdc`] — the §5.6.2 masked-fault silent-corruption exposure,
+//! - [`vmin`] — per-die Vmin and fleet-yield analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use killi_model::area::{checkbits, AreaModel};
+//!
+//! let m = AreaModel::paper();
+//! // Killi at 1:256 halves the SECDED area overhead (Table 5).
+//! let killi = m.killi_bits(256, checkbits::SECDED);
+//! assert!(m.ratio_to_secded(killi) < 0.52);
+//! ```
+
+pub mod area;
+pub mod coverage;
+pub mod power;
+pub mod sdc;
+pub mod vmin;

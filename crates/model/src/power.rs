@@ -1,0 +1,200 @@
+//! Power model: Table 6.
+//!
+//! The paper reports L2 data+tag array power at `0.625 x VDD`, normalized
+//! to a fault-free cache at nominal VDD, including (for Killi) the ECC
+//! cache and the extra memory traffic its contention causes. We model:
+//!
+//! - array power scaling as `V^2` (dynamic `C V^2 f` at fixed `f`, and
+//!   leakage which also drops superlinearly with V; the paper's DECTED
+//!   number of 43.7 % at `V^2 = 39.1 %` implies the same first-order
+//!   scaling),
+//! - checkbit storage as a proportional increase of the array (charged at
+//!   the array's operating voltage),
+//! - encoder/decoder logic as a per-scheme constant (stronger codes burn
+//!   more; calibrated once against Table 6's DECTED/FLAIR/MS-ECC column),
+//! - the ECC cache and extra memory traffic from *measured* simulation
+//!   access counts.
+
+use killi_sim::stats::SimStats;
+
+/// Per-scheme circuit constants.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemePower {
+    /// Checkbit + metadata bits per 512-bit line stored in the LV array.
+    pub overhead_bits: f64,
+    /// Encoder/decoder logic power as a fraction of nominal array power.
+    pub codec: f64,
+    /// ECC-cache capacity in KiB (0 for schemes without one).
+    pub ecc_cache_kib: f64,
+}
+
+impl SchemePower {
+    /// DEC-TED per line.
+    pub fn dected() -> Self {
+        SchemePower {
+            overhead_bits: 22.0,
+            codec: 0.030,
+            ecc_cache_kib: 0.0,
+        }
+    }
+
+    /// FLAIR / SECDED per line.
+    pub fn flair() -> Self {
+        SchemePower {
+            overhead_bits: 12.0,
+            codec: 0.017,
+            ecc_cache_kib: 0.0,
+        }
+    }
+
+    /// MS-ECC (paper's OLSC configuration).
+    pub fn msecc() -> Self {
+        SchemePower {
+            overhead_bits: 198.0,
+            codec: 0.010, // majority logic is XOR trees
+            ecc_cache_kib: 0.0,
+        }
+    }
+
+    /// Killi at an ECC-cache ratio over the paper's 2 MB L2.
+    pub fn killi(ratio: usize) -> Self {
+        let entries = 32768.0 / ratio as f64;
+        SchemePower {
+            overhead_bits: 6.0, // 2 DFH + 4 parity
+            codec: 0.007,
+            ecc_cache_kib: entries * 41.0 / 8.0 / 1024.0,
+        }
+    }
+}
+
+/// The Table 6 power model.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerModel {
+    /// L2 supply normalized to nominal.
+    pub v_l2: f64,
+    /// Energy of one main-memory access relative to one L2 array access.
+    pub mem_energy_ratio: f64,
+    /// Static + dynamic power of the ECC cache per KiB, as a fraction of
+    /// nominal L2 array power.
+    pub ecc_cache_per_kib: f64,
+}
+
+impl PowerModel {
+    /// The paper's operating point.
+    pub fn paper() -> Self {
+        PowerModel {
+            v_l2: 0.625,
+            mem_energy_ratio: 8.0,
+            ecc_cache_per_kib: 0.002,
+        }
+    }
+
+    /// Normalized L2 power (fraction of the fault-free nominal-VDD
+    /// baseline) for a scheme, given its simulation stats and the
+    /// fault-free baseline run's stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline performed no L2 accesses.
+    pub fn normalized(&self, scheme: SchemePower, run: &SimStats, baseline: &SimStats) -> f64 {
+        let base_accesses = (baseline.l2_tag_accesses + baseline.l2_data_accesses) as f64;
+        assert!(base_accesses > 0.0, "baseline performed no L2 accesses");
+        let run_accesses = (run.l2_tag_accesses + run.l2_data_accesses) as f64;
+
+        // Array power: V^2-scaled, inflated by stored overhead bits and by
+        // the activity ratio relative to the baseline.
+        let v2 = self.v_l2 * self.v_l2;
+        let array = v2 * (1.0 + scheme.overhead_bits / 512.0) * (run_accesses / base_accesses);
+
+        // Extra memory traffic relative to the baseline, charged at the
+        // memory energy ratio (the baseline's own memory traffic is not
+        // part of the L2 power budget).
+        let extra_mem = (run.mem_reads + run.mem_writes)
+            .saturating_sub(baseline.mem_reads + baseline.mem_writes)
+            as f64;
+        let mem = self.mem_energy_ratio * extra_mem / base_accesses;
+
+        let ecc_cache = self.ecc_cache_per_kib * scheme.ecc_cache_kib;
+
+        array + scheme.codec + ecc_cache + mem
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(tag: u64, data: u64, mem: u64) -> SimStats {
+        SimStats {
+            l2_tag_accesses: tag,
+            l2_data_accesses: data,
+            mem_reads: mem,
+            ..SimStats::default()
+        }
+    }
+
+    #[test]
+    fn equal_activity_reduces_to_static_model() {
+        let m = PowerModel::paper();
+        let base = stats(1000, 900, 100);
+        let p = m.normalized(SchemePower::flair(), &base, &base);
+        let expect = 0.625 * 0.625 * (1.0 + 12.0 / 512.0) + 0.017;
+        assert!((p - expect).abs() < 1e-9, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn table6_scheme_ordering() {
+        // MS-ECC > DECTED > FLAIR > Killi, with everything in the
+        // 40-56 % band the paper reports.
+        let m = PowerModel::paper();
+        let base = stats(1000, 900, 100);
+        let msecc = m.normalized(SchemePower::msecc(), &base, &base);
+        let dected = m.normalized(SchemePower::dected(), &base, &base);
+        let flair = m.normalized(SchemePower::flair(), &base, &base);
+        let killi = m.normalized(SchemePower::killi(256), &base, &base);
+        assert!(msecc > dected && dected > flair && flair > killi);
+        for (v, lo, hi) in [
+            (msecc, 0.50, 0.60),
+            (dected, 0.40, 0.47),
+            (flair, 0.40, 0.45),
+            (killi, 0.38, 0.43),
+        ] {
+            assert!((lo..hi).contains(&v), "{v} outside [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn larger_ecc_cache_costs_more() {
+        let m = PowerModel::paper();
+        let base = stats(1000, 900, 100);
+        let small = m.normalized(SchemePower::killi(256), &base, &base);
+        let large = m.normalized(SchemePower::killi(16), &base, &base);
+        assert!(large > small);
+        // Table 6: 40.3 % (1:256) .. 42.4 % (1:16) — roughly a 2-point
+        // spread from the ECC cache alone.
+        assert!((large - small) < 0.05);
+    }
+
+    #[test]
+    fn extra_memory_traffic_is_charged() {
+        let m = PowerModel::paper();
+        let base = stats(1000, 900, 100);
+        let run = stats(1000, 900, 150);
+        let with_misses = m.normalized(SchemePower::killi(256), &run, &base);
+        let without = m.normalized(SchemePower::killi(256), &base, &base);
+        assert!(with_misses > without);
+    }
+
+    #[test]
+    #[should_panic(expected = "no L2 accesses")]
+    fn baseline_must_have_activity() {
+        let m = PowerModel::paper();
+        m.normalized(SchemePower::flair(), &SimStats::default(), &SimStats::default());
+    }
+}

@@ -1,0 +1,226 @@
+//! Vmin and yield analysis: which supply voltage can each *die* actually
+//! reach?
+//!
+//! The paper's §2.1 notes that circuit-level LV techniques need post-silicon
+//! per-die tuning because failure rates vary die to die — precisely the
+//! knowledge problem Killi's runtime classification dissolves (no tuning,
+//! no MBIST: every die self-discovers its population at whatever voltage it
+//! is given). This module quantifies that: given a die-to-die spread of the
+//! failure curves, it computes the minimum reliable voltage per die for a
+//! given scheme strength and the resulting fleet-wide yield at each voltage.
+
+use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::line_stats::LineFaultDistribution;
+use killi_fault::rng::{hash3, to_unit};
+
+/// A die's failure curves: the base model with a per-die rate multiplier
+/// (lognormal across the population, like the per-line spread but frozen
+/// per chip).
+#[derive(Debug, Clone)]
+pub struct Die {
+    model: CellFailureModel,
+    /// The die's rate multiplier (1.0 = typical).
+    pub multiplier: f64,
+}
+
+impl Die {
+    /// Samples die `index` from a population with lognormal rate spread
+    /// `die_sigma`.
+    pub fn sample(base: &CellFailureModel, die_sigma: f64, seed: u64, index: u64) -> Self {
+        let z = inverse_normal(to_unit(hash3(seed, index, 0xD1E)));
+        let multiplier = (die_sigma * z).exp();
+        // Shift every anchor by log10(multiplier): a uniform rate scale.
+        let shift = multiplier.log10();
+        let anchors = base_anchors(base)
+            .iter()
+            .map(|&(v, l)| (v, l + shift))
+            .collect();
+        Die {
+            model: CellFailureModel::from_anchors(anchors, base.sigma()),
+            multiplier,
+        }
+    }
+
+    /// The die's failure model.
+    pub fn model(&self) -> &CellFailureModel {
+        &self.model
+    }
+
+    /// Usable-line fraction for a scheme correcting `correctable` faults
+    /// per 523-cell line at voltage `vdd`.
+    pub fn capacity(&self, vdd: NormVdd, correctable: u64) -> f64 {
+        LineFaultDistribution::enabled_fraction_at(&self.model, vdd, FreqGhz::PEAK, 523, correctable)
+    }
+
+    /// Minimum voltage (to 1 mV of normalized VDD) at which the die keeps
+    /// at least `target` of its lines usable under a `correctable`-strong
+    /// scheme. Returns `None` when even nominal voltage fails (never, in
+    /// practice).
+    pub fn vmin(&self, target: f64, correctable: u64) -> Option<NormVdd> {
+        let mut lo = 0.40f64;
+        let mut hi = 1.0f64;
+        if self.capacity(NormVdd(hi), correctable) < target {
+            return None;
+        }
+        if self.capacity(NormVdd(lo), correctable) >= target {
+            return Some(NormVdd(lo));
+        }
+        while hi - lo > 0.001 {
+            let mid = 0.5 * (lo + hi);
+            if self.capacity(NormVdd(mid), correctable) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(NormVdd(hi))
+    }
+}
+
+/// Fleet yield: the fraction of `dies` sampled dies whose Vmin (for the
+/// given capacity target and scheme strength) is at or below `vdd`.
+pub fn yield_at(
+    base: &CellFailureModel,
+    die_sigma: f64,
+    seed: u64,
+    dies: u64,
+    vdd: NormVdd,
+    target: f64,
+    correctable: u64,
+) -> f64 {
+    let ok = (0..dies)
+        .filter(|&i| {
+            Die::sample(base, die_sigma, seed, i).capacity(vdd, correctable) >= target
+        })
+        .count();
+    ok as f64 / dies as f64
+}
+
+/// Rational inverse-normal (Acklam); adequate for sampling die spreads.
+fn inverse_normal(u: f64) -> f64 {
+    let u = u.clamp(1e-12, 1.0 - 1e-12);
+    // Reuse the simple central/tail split.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if u < P_LOW {
+        let q = (-2.0 * u.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if u <= 1.0 - P_LOW {
+        let q = u - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - u).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Extracts the model's anchors (re-deriving them from the public query
+/// interface keeps `CellFailureModel` encapsulated).
+fn base_anchors(model: &CellFailureModel) -> Vec<(f64, f64)> {
+    use killi_fault::cell_model::FailureKind;
+    [0.500, 0.525, 0.550, 0.575, 0.600, 0.625, 0.650, 0.674]
+        .iter()
+        .map(|&v| {
+            let p = model.p_cell_median(NormVdd(v), FreqGhz::PEAK, FailureKind::Combined);
+            (v, p.log10())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CellFailureModel {
+        CellFailureModel::finfet14()
+    }
+
+    #[test]
+    fn typical_die_reaches_the_paper_operating_point() {
+        // A 1.0x die under Killi (1 correctable fault, 99 % capacity
+        // target) must reach 0.625 x VDD.
+        let die = Die {
+            model: base(),
+            multiplier: 1.0,
+        };
+        let vmin = die.vmin(0.99, 1).expect("reachable");
+        assert!(vmin.0 <= 0.63, "vmin = {}", vmin.0);
+        assert!(vmin.0 >= 0.55, "vmin = {}", vmin.0);
+    }
+
+    #[test]
+    fn stronger_correction_lowers_vmin() {
+        let die = Die {
+            model: base(),
+            multiplier: 1.0,
+        };
+        let v1 = die.vmin(0.99, 1).unwrap();
+        let v11 = die.vmin(0.99, 11).unwrap();
+        assert!(v11.0 < v1.0, "{} vs {}", v11.0, v1.0);
+    }
+
+    #[test]
+    fn worse_dies_have_higher_vmin() {
+        let base = base();
+        let good = Die::sample(&base, 0.0, 1, 0); // sigma 0: typical
+        let bad = Die {
+            model: CellFailureModel::from_anchors(
+                base_anchors(&base).iter().map(|&(v, l)| (v, l + 1.0)).collect(),
+                base.sigma(),
+            ),
+            multiplier: 10.0,
+        };
+        let vg = good.vmin(0.99, 1).unwrap();
+        let vb = bad.vmin(0.99, 1).unwrap();
+        assert!(vb.0 > vg.0, "{} vs {}", vb.0, vg.0);
+    }
+
+    #[test]
+    fn yield_is_monotone_in_voltage() {
+        let base = base();
+        let y_lo = yield_at(&base, 0.5, 7, 200, NormVdd(0.59), 0.99, 1);
+        let y_hi = yield_at(&base, 0.5, 7, 200, NormVdd(0.64), 0.99, 1);
+        assert!(y_hi >= y_lo);
+        assert!(y_hi > 0.8, "most dies fine at 0.64: {y_hi}");
+    }
+
+    #[test]
+    fn die_sampling_is_deterministic() {
+        let base = base();
+        let a = Die::sample(&base, 0.5, 3, 17);
+        let b = Die::sample(&base, 0.5, 3, 17);
+        assert_eq!(a.multiplier, b.multiplier);
+    }
+}

@@ -1,0 +1,88 @@
+//! Trace operations consumed by the compute-unit model.
+//!
+//! Workload generators (the `killi-workloads` crate) produce one op stream
+//! per compute unit; the simulator executes them in order with a bounded
+//! outstanding-load window, which is how a GPU wavefront scheduler hides
+//! memory latency.
+
+/// One operation in a compute unit's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Load from a byte address.
+    Load(u64),
+    /// Store to a byte address (write-through; bypasses the L2 per the
+    /// paper's footnote 2).
+    Store(u64),
+    /// `n` cycles of compute, counting `n` instructions.
+    Compute(u32),
+}
+
+/// A per-CU operation stream. Boxed iterators keep multi-million-op traces
+/// out of memory.
+pub type OpStream = Box<dyn Iterator<Item = TraceOp>>;
+
+/// A complete multi-CU workload trace.
+pub struct Trace {
+    streams: Vec<OpStream>,
+}
+
+impl Trace {
+    /// Builds a trace from per-CU op streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty.
+    pub fn new(streams: Vec<OpStream>) -> Self {
+        assert!(!streams.is_empty(), "trace needs at least one CU stream");
+        Trace { streams }
+    }
+
+    /// Convenience constructor from in-memory op vectors (tests, examples).
+    pub fn from_vecs(per_cu: Vec<Vec<TraceOp>>) -> Self {
+        Self::new(
+            per_cu
+                .into_iter()
+                .map(|v| Box::new(v.into_iter()) as OpStream)
+                .collect(),
+        )
+    }
+
+    /// Number of compute units in the trace.
+    pub fn cus(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Consumes the trace into its streams.
+    pub fn into_streams(self) -> Vec<OpStream> {
+        self.streams
+    }
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace").field("cus", &self.cus()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vecs_roundtrip() {
+        let t = Trace::from_vecs(vec![
+            vec![TraceOp::Load(0), TraceOp::Compute(5)],
+            vec![TraceOp::Store(64)],
+        ]);
+        assert_eq!(t.cus(), 2);
+        let streams = t.into_streams();
+        let first: Vec<_> = streams.into_iter().next().unwrap().collect();
+        assert_eq!(first, vec![TraceOp::Load(0), TraceOp::Compute(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CU")]
+    fn empty_trace_rejected() {
+        Trace::new(Vec::new());
+    }
+}

@@ -1,0 +1,31 @@
+//! Facade crate for the Killi reproduction workspace.
+//!
+//! Re-exports every component crate so examples, integration tests and
+//! downstream users can depend on a single package:
+//!
+//! - [`ecc`] — parity, SECDED, DEC-TED BCH and OLSC codecs,
+//! - [`fault`] — low-voltage fault model (cell curves, fault maps, soft errors),
+//! - [`sim`] — the GPU cache-hierarchy timing simulator,
+//! - [`core`] — the Killi mechanism itself (DFH classification + ECC cache),
+//! - [`baselines`] — DECTED / FLAIR / MS-ECC / SECDED comparison schemes,
+//! - [`workloads`] — synthetic GPGPU trace generators,
+//! - [`model`] — analytic coverage, area and power models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+//! use killi_repro::fault::line_stats::LineFaultDistribution;
+//!
+//! let model = CellFailureModel::finfet14();
+//! let dist = LineFaultDistribution::at(&model, NormVdd::LV_0_625, FreqGhz::PEAK);
+//! assert!(dist.zero + dist.one > 0.95);
+//! ```
+
+pub use killi as core;
+pub use killi_baselines as baselines;
+pub use killi_ecc as ecc;
+pub use killi_fault as fault;
+pub use killi_model as model;
+pub use killi_sim as sim;
+pub use killi_workloads as workloads;
