@@ -49,7 +49,12 @@ impl FlairOnline {
     /// # Panics
     ///
     /// Panics if the fault map is too small or `l2_ways` is odd.
-    pub fn new(map: Arc<FaultMap>, l2_lines: usize, l2_ways: usize, accesses_per_pair: u64) -> Self {
+    pub fn new(
+        map: Arc<FaultMap>,
+        l2_lines: usize,
+        l2_ways: usize,
+        accesses_per_pair: u64,
+    ) -> Self {
         assert!(map.lines() >= l2_lines, "fault map too small");
         assert_eq!(l2_ways % 2, 0, "way pairs need an even way count");
         FlairOnline {
@@ -254,7 +259,19 @@ mod tests {
     #[test]
     fn training_completes_after_all_pairs() {
         let map = map_with(
-            vec![(0, vec![CellFault { cell: 1, stuck: true }, CellFault { cell: 2, stuck: true }])],
+            vec![(
+                0,
+                vec![
+                    CellFault {
+                        cell: 1,
+                        stuck: true,
+                    },
+                    CellFault {
+                        cell: 2,
+                        stuck: true,
+                    },
+                ],
+            )],
             32,
         );
         let mut s = FlairOnline::new(map, 32, 16, 2);
@@ -272,7 +289,16 @@ mod tests {
 
     #[test]
     fn steady_state_corrects_single_faults() {
-        let map = map_with(vec![(2, vec![CellFault { cell: 9, stuck: true }])], 32);
+        let map = map_with(
+            vec![(
+                2,
+                vec![CellFault {
+                    cell: 9,
+                    stuck: true,
+                }],
+            )],
+            32,
+        );
         let mut s = FlairOnline::new(Arc::clone(&map), 32, 16, 1);
         let data = Line512::zero();
         for i in 0..16 {

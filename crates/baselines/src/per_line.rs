@@ -77,7 +77,12 @@ impl PerLineEcc {
     /// # Panics
     ///
     /// Panics if the fault map does not cover `l2_lines`.
-    pub fn new(name: &'static str, strength: EccStrength, map: Arc<FaultMap>, l2_lines: usize) -> Self {
+    pub fn new(
+        name: &'static str,
+        strength: EccStrength,
+        map: Arc<FaultMap>,
+        l2_lines: usize,
+    ) -> Self {
         assert!(map.lines() >= l2_lines, "fault map too small");
         let disabled = (0..l2_lines)
             .map(|l| {

@@ -1,11 +1,14 @@
-//! Criterion benchmarks for the simulator substrate: fault-map
-//! construction and the protected L2 access paths.
+//! Micro-benchmarks for the simulator substrate: fault-map construction
+//! and the protected L2 access paths.
+//!
+//! Runs on the in-repo [`killi_bench::timing`] harness (`cargo bench`);
+//! tune the per-benchmark budget with `KILLI_BENCH_MS`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
 use killi::scheme::{KilliConfig, KilliScheme};
+use killi_bench::timing::bench;
 use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
 use killi_fault::map::FaultMap;
 use killi_sim::cache::{CacheGeometry, L2Cache};
@@ -20,22 +23,20 @@ fn geometry() -> CacheGeometry {
     }
 }
 
-fn bench_fault_map(c: &mut Criterion) {
+fn bench_fault_map() {
     let model = CellFailureModel::finfet14();
-    c.bench_function("fault_map/build_4096_lines", |b| {
-        b.iter(|| {
-            FaultMap::build(
-                4096,
-                black_box(&model),
-                NormVdd::LV_0_625,
-                FreqGhz::PEAK,
-                42,
-            )
-        })
+    bench("fault_map/build_4096_lines", || {
+        FaultMap::build(
+            4096,
+            black_box(&model),
+            NormVdd::LV_0_625,
+            FreqGhz::PEAK,
+            42,
+        )
     });
 }
 
-fn bench_l2_paths(c: &mut Criterion) {
+fn bench_l2_paths() {
     let geom = geometry();
     let model = CellFailureModel::finfet14();
     let map = Arc::new(FaultMap::build(
@@ -46,7 +47,7 @@ fn bench_l2_paths(c: &mut Criterion) {
         1,
     ));
 
-    c.bench_function("l2/unprotected_hit", |b| {
+    {
         let mut l2 = L2Cache::new(
             geom,
             8,
@@ -58,13 +59,13 @@ fn bench_l2_paths(c: &mut Criterion) {
         let mut mem = MainMemory::new(1, 300);
         l2.access_load(0x40, 0, &mut mem);
         let mut now = 1000u64;
-        b.iter(|| {
+        bench("l2/unprotected_hit", || {
             now += 10;
             l2.access_load(black_box(0x40), now, &mut mem)
-        })
-    });
+        });
+    }
 
-    c.bench_function("l2/killi_hit", |b| {
+    {
         let killi = KilliScheme::new(
             KilliConfig::with_ratio(64),
             Arc::clone(&map),
@@ -75,13 +76,13 @@ fn bench_l2_paths(c: &mut Criterion) {
         let mut mem = MainMemory::new(1, 300);
         l2.access_load(0x40, 0, &mut mem);
         let mut now = 1000u64;
-        b.iter(|| {
+        bench("l2/killi_hit", || {
             now += 10;
             l2.access_load(black_box(0x40), now, &mut mem)
-        })
-    });
+        });
+    }
 
-    c.bench_function("l2/killi_miss_fill", |b| {
+    {
         let killi = KilliScheme::new(
             KilliConfig::with_ratio(64),
             Arc::clone(&map),
@@ -92,13 +93,15 @@ fn bench_l2_paths(c: &mut Criterion) {
         let mut mem = MainMemory::new(1, 300);
         let mut addr = 0u64;
         let mut now = 0u64;
-        b.iter(|| {
+        bench("l2/killi_miss_fill", || {
             addr = addr.wrapping_add(64 * 257); // always a fresh line
             now += 10;
             l2.access_load(black_box(addr), now, &mut mem)
-        })
-    });
+        });
+    }
 }
 
-criterion_group!(benches, bench_fault_map, bench_l2_paths);
-criterion_main!(benches);
+fn main() {
+    bench_fault_map();
+    bench_l2_paths();
+}

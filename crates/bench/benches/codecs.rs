@@ -1,64 +1,69 @@
-//! Criterion benchmarks for the error-coding substrate: the per-access
+//! Micro-benchmarks for the error-coding substrate: the per-access
 //! hardware operations Killi and the baselines model as 1-2 cycles.
+//!
+//! Runs on the in-repo [`killi_bench::timing`] harness (`cargo bench`);
+//! tune the per-benchmark budget with `KILLI_BENCH_MS`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use killi_bench::timing::bench;
 use killi_ecc::bch::dected;
 use killi_ecc::bits::Line512;
 use killi_ecc::olsc::OlscLine;
 use killi_ecc::parity::{seg16, seg4};
 use killi_ecc::secded::secded;
 
-fn bench_parity(c: &mut Criterion) {
+fn bench_parity() {
     let line = Line512::from_seed(1);
-    c.bench_function("parity/seg16", |b| b.iter(|| seg16(black_box(&line))));
-    c.bench_function("parity/seg4", |b| b.iter(|| seg4(black_box(&line))));
+    bench("parity/seg16", || seg16(black_box(&line)));
+    bench("parity/seg4", || seg4(black_box(&line)));
 }
 
-fn bench_secded(c: &mut Criterion) {
+fn bench_secded() {
     let codec = secded();
     let line = Line512::from_seed(2);
     let code = codec.encode(&line);
     let mut corrupted = line;
     corrupted.flip_bit(100);
-    c.bench_function("secded/encode", |b| b.iter(|| codec.encode(black_box(&line))));
-    c.bench_function("secded/decode_clean", |b| {
-        b.iter(|| codec.decode(black_box(&line), code))
+    bench("secded/encode", || codec.encode(black_box(&line)));
+    bench("secded/decode_clean", || {
+        codec.decode(black_box(&line), code)
     });
-    c.bench_function("secded/decode_correct1", |b| {
-        b.iter(|| codec.decode(black_box(&corrupted), code))
+    bench("secded/decode_correct1", || {
+        codec.decode(black_box(&corrupted), code)
     });
 }
 
-fn bench_dected(c: &mut Criterion) {
+fn bench_dected() {
     let codec = dected();
     let line = Line512::from_seed(3);
     let code = codec.encode(&line);
     let mut two = line;
     two.flip_bit(9);
     two.flip_bit(400);
-    c.bench_function("dected/encode", |b| b.iter(|| codec.encode(black_box(&line))));
-    c.bench_function("dected/decode_clean", |b| {
-        b.iter(|| codec.decode(black_box(&line), code))
+    bench("dected/encode", || codec.encode(black_box(&line)));
+    bench("dected/decode_clean", || {
+        codec.decode(black_box(&line), code)
     });
-    c.bench_function("dected/decode_correct2", |b| {
-        b.iter(|| codec.decode(black_box(&two), code))
+    bench("dected/decode_correct2", || {
+        codec.decode(black_box(&two), code)
     });
 }
 
-fn bench_olsc(c: &mut Criterion) {
+fn bench_olsc() {
     let codec = OlscLine::new(8, 2);
     let line = Line512::from_seed(4);
     let check = codec.encode(&line);
-    c.bench_function("olsc/encode", |b| b.iter(|| codec.encode(black_box(&line))));
-    c.bench_function("olsc/decode_clean", |b| {
-        b.iter(|| {
-            let mut l = black_box(line);
-            codec.decode(&mut l, &check)
-        })
+    bench("olsc/encode", || codec.encode(black_box(&line)));
+    bench("olsc/decode_clean", || {
+        let mut l = black_box(line);
+        codec.decode(&mut l, &check)
     });
 }
 
-criterion_group!(benches, bench_parity, bench_secded, bench_dected, bench_olsc);
-criterion_main!(benches);
+fn main() {
+    bench_parity();
+    bench_secded();
+    bench_dected();
+    bench_olsc();
+}

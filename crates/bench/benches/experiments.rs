@@ -1,95 +1,117 @@
-//! Criterion benchmarks that exercise every paper experiment at reduced
-//! scale, so `cargo bench` covers the full reproduction pipeline (the
-//! full-size runs live in the `fig*`/`table*`/`repro` binaries).
+//! Benchmarks that exercise every paper experiment at reduced scale, so
+//! `cargo bench` covers the full reproduction pipeline (the full-size
+//! runs live in the `fig*`/`table*`/`repro` binaries).
+//!
+//! Runs on the in-repo [`killi_bench::timing`] harness; tune the
+//! per-benchmark budget with `KILLI_BENCH_MS`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use killi_bench::experiments;
 use killi_bench::runner::{run_matrix, MatrixConfig};
 use killi_bench::schemes::SchemeSpec;
+use killi_bench::sweep::{run_sweep, SweepConfig};
+use killi_bench::timing::bench;
 use killi_fault::cell_model::NormVdd;
 use killi_sim::cache::CacheGeometry;
 use killi_sim::gpu::GpuConfig;
 use killi_workloads::Workload;
+
+fn small_gpu() -> GpuConfig {
+    GpuConfig {
+        cus: 2,
+        l2: CacheGeometry {
+            size_bytes: 128 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        },
+        l2_banks: 4,
+        mem_latency: 100,
+        ..GpuConfig::default()
+    }
+}
 
 fn small_matrix_config() -> MatrixConfig {
     MatrixConfig {
         ops_per_cu: 5_000,
         seed: 42,
         vdd: NormVdd::LV_0_625,
-        gpu: GpuConfig {
-            cus: 2,
-            l2: CacheGeometry {
-                size_bytes: 128 * 1024,
-                ways: 16,
-                line_bytes: 64,
-            },
-            l2_banks: 4,
-            mem_latency: 100,
-            ..GpuConfig::default()
-        },
+        gpu: small_gpu(),
         threads: 2,
     }
 }
 
-fn bench_analytic_experiments(c: &mut Criterion) {
-    c.bench_function("experiments/fig1_cell_curves", |b| {
-        b.iter(|| black_box(experiments::fig1()))
+fn bench_analytic_experiments() {
+    bench("experiments/fig1_cell_curves", || {
+        black_box(experiments::fig1())
     });
-    c.bench_function("experiments/fig6_coverage_analytic", |b| {
-        let model = killi_fault::cell_model::CellFailureModel::finfet14();
-        b.iter(|| {
-            black_box(killi_model::coverage::coverage_at(
-                &model,
-                NormVdd(black_box(0.6)),
-            ))
-        })
+    let model = killi_fault::cell_model::CellFailureModel::finfet14();
+    bench("experiments/fig6_coverage_analytic", || {
+        black_box(killi_model::coverage::coverage_at(
+            &model,
+            NormVdd(black_box(0.6)),
+        ))
     });
-    c.bench_function("experiments/fig6_coverage_monte_carlo", |b| {
-        let model = killi_fault::cell_model::CellFailureModel::finfet14();
-        b.iter(|| {
-            black_box(killi_bench::empirical::measure(
-                &model,
-                NormVdd(0.6),
-                500,
-                42,
-            ))
-        })
+    bench("experiments/fig6_coverage_monte_carlo", || {
+        black_box(killi_bench::empirical::measure(
+            &model,
+            NormVdd(0.6),
+            500,
+            42,
+        ))
     });
-    c.bench_function("experiments/table4_area", |b| {
-        b.iter(|| black_box(experiments::table4()))
+    bench("experiments/table4_area", || {
+        black_box(experiments::table4())
     });
-    c.bench_function("experiments/table5_area", |b| {
-        b.iter(|| black_box(experiments::table5()))
+    bench("experiments/table5_area", || {
+        black_box(experiments::table5())
     });
-    c.bench_function("experiments/table7_olsc", |b| {
-        b.iter(|| black_box(experiments::table7()))
+    bench("experiments/table7_olsc", || {
+        black_box(experiments::table7())
     });
 }
 
-fn bench_fig2_sampled(c: &mut Criterion) {
-    c.bench_function("experiments/fig2_line_distribution", |b| {
-        b.iter(|| black_box(experiments::fig2(7)))
+fn bench_fig2_sampled() {
+    bench("experiments/fig2_line_distribution", || {
+        black_box(experiments::fig2(7))
     });
 }
 
-fn bench_simulation_matrix(c: &mut Criterion) {
+fn bench_simulation_matrix() {
     let config = small_matrix_config();
-    c.bench_function("experiments/fig4_fig5_matrix_cell", |b| {
-        b.iter(|| {
-            black_box(run_matrix(
-                &[Workload::Xsbench],
-                &[SchemeSpec::Killi(64)],
-                &config,
-            ))
-        })
+    bench("experiments/fig4_fig5_matrix_cell", || {
+        black_box(run_matrix(
+            &[Workload::Xsbench],
+            &[SchemeSpec::Killi(64)],
+            &config,
+        ))
     });
-    c.bench_function("experiments/table6_power_inputs", |b| {
-        let results = run_matrix(&[Workload::Hacc], &SchemeSpec::figure4_set(), &config);
-        b.iter(|| black_box(experiments::table6(&results)))
+    let results = run_matrix(&[Workload::Hacc], &SchemeSpec::figure4_set(), &config);
+    bench("experiments/table6_power_inputs", || {
+        black_box(experiments::table6(&results))
     });
 }
 
-criterion_group!(benches, bench_analytic_experiments, bench_fig2_sampled, bench_simulation_matrix);
-criterion_main!(benches);
+fn bench_sweep_engine() {
+    let config = SweepConfig {
+        replications: 2,
+        vdds: vec![0.625],
+        schemes: vec![SchemeSpec::Killi(64)],
+        workloads: vec![Workload::Fft],
+        ops_per_cu: 2_000,
+        gpu: small_gpu(),
+        threads: 2,
+        progress_every: 0,
+        ..SweepConfig::paper(2_000, 42, 2)
+    };
+    bench("experiments/sweep_2rep_cell", || {
+        black_box(run_sweep(&config).to_json())
+    });
+}
+
+fn main() {
+    bench_analytic_experiments();
+    bench_fig2_sampled();
+    bench_simulation_matrix();
+    bench_sweep_engine();
+}

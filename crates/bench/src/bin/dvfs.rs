@@ -6,38 +6,50 @@
 //! consuming, resulting in extended boot time or delayed power state
 //! transitions") quantified: we measure Killi's online training overhead
 //! as the cycle difference between a cold-DFH run and a warm rerun of the
-//! identical kernel, and compare it against a march-test MBIST estimate.
+//! identical kernel, replicated over seed-derived fault maps and traces
+//! (mean ± 95% CI), and compare it against a march-test MBIST estimate.
 
 use std::sync::Arc;
 
 use killi::scheme::{KilliConfig, KilliScheme};
+use killi_bench::exec::{par_map, Progress};
 use killi_bench::report::{emit, Table};
+use killi_bench::sweep::Accumulator;
 use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
 use killi_fault::map::FaultMap;
+use killi_fault::rng::derive_seed;
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_workloads::{TraceParams, Workload};
+
+const WORKLOADS: [Workload; 3] = [Workload::Xsbench, Workload::Fft, Workload::Hacc];
 
 fn main() {
     let config = GpuConfig::default();
     let model = CellFailureModel::finfet14();
     let ops = killi_bench::ops_from_env();
-    let mut t = Table::new(vec![
-        "workload",
-        "cold cycles",
-        "warm cycles",
-        "training overhead",
-        "overhead %",
-    ]);
-    let mut out = String::from(
-        "Power-state-transition cost: Killi online training vs MBIST\n\n",
-    );
-    for w in [Workload::Xsbench, Workload::Fft, Workload::Hacc] {
-        let map = Arc::new(FaultMap::build(
+    let root_seed = 42u64;
+    let replications = std::env::var("KILLI_REPLICATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4u64);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    // One job per (workload, replicate): each measures cold vs warm on
+    // its own derived fault map and trace.
+    let jobs: Vec<(usize, u64)> = (0..WORKLOADS.len())
+        .flat_map(|w| (0..replications).map(move |rep| (w, rep)))
+        .collect();
+    let progress = Progress::new("dvfs", jobs.len(), 3);
+    let runs: Vec<(u64, u64)> = par_map(threads, &jobs, Some(&progress), |_, &(w, rep)| {
+        let map = Arc::new(FaultMap::build_replicate(
             config.l2.lines(),
             &model,
             NormVdd::LV_0_625,
             FreqGhz::PEAK,
-            42,
+            root_seed,
+            rep,
         ));
         let killi = KilliScheme::new(
             KilliConfig::with_ratio(64),
@@ -45,29 +57,56 @@ fn main() {
             config.l2.lines(),
             config.l2.ways,
         );
-        let mut sim = GpuSim::new(config, map, Box::new(killi), 42);
+        let workload_id = Workload::ALL
+            .iter()
+            .position(|&x| x == WORKLOADS[w])
+            .expect("workload in ALL") as u64;
+        let trace_seed = derive_seed(root_seed, "trace", &[workload_id, rep]);
+        let mut sim = GpuSim::new(config, map, Box::new(killi), trace_seed);
         let params = TraceParams {
             cus: config.cus,
             ops_per_cu: ops,
-            seed: 42,
+            seed: trace_seed,
             l2_bytes: config.l2.size_bytes,
         };
         // Cold: the DFH bits start in b'01 everywhere — this IS the power
         // state transition under Killi. No separate characterization phase
         // exists; the kernel simply runs.
-        let cold = sim.run(w.trace(&params));
+        let cold = sim.run(WORKLOADS[w].trace(&params));
         // Warm: same kernel with the fault population already learned.
         sim.reset_counters();
-        let warm = sim.run(w.trace(&params));
-        let overhead = cold.cycles.saturating_sub(warm.cycles);
+        let warm = sim.run(WORKLOADS[w].trace(&params));
+        (cold.cycles, warm.cycles)
+    });
+
+    let mut t = Table::new(vec![
+        "workload",
+        "cold cycles (mean)",
+        "warm cycles (mean)",
+        "training overhead % (95% CI)",
+    ]);
+    let mut out = String::from("Power-state-transition cost: Killi online training vs MBIST\n\n");
+    for (w, workload) in WORKLOADS.iter().enumerate() {
+        let mut cold_acc = Accumulator::default();
+        let mut warm_acc = Accumulator::default();
+        let mut overhead_acc = Accumulator::default();
+        for rep in 0..replications as usize {
+            let (cold, warm) = runs[w * replications as usize + rep];
+            cold_acc.add(cold as f64);
+            warm_acc.add(warm as f64);
+            let overhead = cold.saturating_sub(warm);
+            overhead_acc.add(100.0 * overhead as f64 / warm.max(1) as f64);
+        }
         t.row(vec![
-            w.name().to_string(),
-            cold.cycles.to_string(),
-            warm.cycles.to_string(),
-            overhead.to_string(),
-            format!("{:.3}%", 100.0 * overhead as f64 / warm.cycles as f64),
+            workload.name().to_string(),
+            format!("{:.0}", cold_acc.mean()),
+            format!("{:.0}", warm_acc.mean()),
+            overhead_acc.fmt_ci(3),
         ]);
     }
+    out.push_str(&format!(
+        "{replications} replicate fault maps per workload (root seed {root_seed}):\n\n"
+    ));
     out.push_str(&t.render());
 
     // MBIST estimate for the same 2 MB array at 1 GHz: a March C- class

@@ -44,13 +44,7 @@ fn main() {
         sim.run(Workload::Xsbench.trace(&params))
     };
 
-    let mut t = Table::new(vec![
-        "ratio",
-        "ways",
-        "norm.time",
-        "mpki",
-        "ecc evictions",
-    ]);
+    let mut t = Table::new(vec!["ratio", "ways", "norm.time", "mpki", "ecc evictions"]);
     for ratio in [256usize, 64, 16] {
         for ways in [2usize, 4, 8] {
             let killi = KilliScheme::new(
@@ -64,11 +58,7 @@ fn main() {
             );
             let mut sim = GpuSim::new(config, Arc::clone(&map), Box::new(killi), 42);
             let stats = sim.run(Workload::Xsbench.trace(&params));
-            let evictions = sim
-                .l2()
-                .protection()
-                .protection_stats()
-                .ecc_cache_evictions;
+            let evictions = sim.l2().protection().protection_stats().ecc_cache_evictions;
             t.row(vec![
                 format!("1:{ratio}"),
                 ways.to_string(),

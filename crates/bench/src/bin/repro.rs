@@ -15,10 +15,7 @@ fn main() {
     let config = MatrixConfig::paper(killi_bench::ops_from_env(), 42);
     eprintln!(
         "running the {}x{} simulation matrix ({} ops/CU, {} threads)...",
-        10,
-        9,
-        config.ops_per_cu,
-        config.threads
+        10, 9, config.ops_per_cu, config.threads
     );
     let results = ex::perf_matrix(&config);
     emit("fig4", &ex::fig4(&results));
@@ -33,10 +30,9 @@ fn main() {
 
     for extra in ["dvfs", "writeback", "yield", "eccsweep"] {
         eprintln!("running the {extra} experiment...");
-        let status = std::process::Command::new(
-            std::env::current_exe().unwrap().with_file_name(extra),
-        )
-        .status();
+        let status =
+            std::process::Command::new(std::env::current_exe().unwrap().with_file_name(extra))
+                .status();
         if status.is_err() {
             eprintln!("note: run `cargo run --release -p killi-bench --bin {extra}` separately");
         }

@@ -3,40 +3,74 @@
 //!
 //! Circuit-level LV techniques (§2.1) need post-silicon tuning because
 //! failure curves vary die to die; Killi needs none — every die discovers
-//! its own population at runtime. This experiment samples a die population
-//! with lognormal rate spread and reports the yield curve per scheme
-//! strength (1 = SECDED/Killi, 2 = DECTED, 11 = MS-ECC/Killi-OLSC).
+//! its own population at runtime. This experiment samples replicated die
+//! populations with lognormal rate spread (seeds derived from one root,
+//! like the sweep engine) and reports the yield curve per scheme strength
+//! (1 = SECDED/Killi, 2 = DECTED, 11 = MS-ECC/Killi-OLSC) as
+//! mean ± 95% CI over the replicates.
 
-use killi_bench::report::{emit, pct, Table};
+use killi_bench::exec::{par_map, Progress};
+use killi_bench::report::{emit, Table};
+use killi_bench::sweep::Accumulator;
 use killi_fault::cell_model::{CellFailureModel, NormVdd};
-use killi_model::vmin::yield_at;
+use killi_model::vmin::yield_samples;
+
+const VDDS: [f64; 8] = [0.66, 0.65, 0.64, 0.625, 0.61, 0.60, 0.59, 0.575];
+const STRENGTHS: [u64; 3] = [1, 2, 11];
 
 fn main() {
     let base = CellFailureModel::finfet14();
     let die_sigma = 0.5;
-    let dies = 500;
+    let dies = 200;
+    let replications = 8;
+    let root_seed = 42;
     let target = 0.98; // the paper tolerates ~1.1% disabled lines at 0.625 x VDD
+
+    // One job per (voltage, strength): each draws `replications`
+    // independent die populations and folds them into an accumulator.
+    let jobs: Vec<(f64, u64)> = VDDS
+        .iter()
+        .flat_map(|&v| STRENGTHS.iter().map(move |&t| (v, t)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let progress = Progress::new("yield", jobs.len(), 6);
+    let cells: Vec<Accumulator> = par_map(threads, &jobs, Some(&progress), |_, &(v, t)| {
+        let mut acc = Accumulator::default();
+        for y in yield_samples(
+            &base,
+            die_sigma,
+            root_seed,
+            replications,
+            dies,
+            NormVdd(v),
+            target,
+            t,
+        ) {
+            acc.add(y * 100.0);
+        }
+        acc
+    });
+
     let mut t = Table::new(vec![
         "vdd",
         "yield t=1 (Killi/SECDED)",
         "yield t=2 (DECTED)",
         "yield t=11 (MS-ECC / Killi-OLSC)",
     ]);
-    for v in [0.66, 0.65, 0.64, 0.625, 0.61, 0.60, 0.59, 0.575] {
-        t.row(vec![
-            format!("{v}"),
-            pct(yield_at(&base, die_sigma, 42, dies, NormVdd(v), target, 1), 1),
-            pct(yield_at(&base, die_sigma, 42, dies, NormVdd(v), target, 2), 1),
-            pct(yield_at(&base, die_sigma, 42, dies, NormVdd(v), target, 11), 1),
-        ]);
+    for (i, &v) in VDDS.iter().enumerate() {
+        let cell = |s: usize| cells[i * STRENGTHS.len() + s].fmt_ci(1);
+        t.row(vec![format!("{v}"), cell(0), cell(1), cell(2)]);
     }
     emit(
         "yield",
         &format!(
-            "Per-die Vmin / fleet yield ({dies} dies, lognormal die spread \
-             sigma={die_sigma},\ncapacity target {target}): fraction of dies \
-             whose cache keeps >= 98% of lines\nusable at each voltage, by \
-             correction strength.\n\n{}",
+            "Per-die Vmin / fleet yield ({replications} replicated populations x \
+             {dies} dies,\nlognormal die spread sigma={die_sigma}, capacity target \
+             {target}): % of dies whose cache\nkeeps >= 98% of lines usable at each \
+             voltage, by correction strength\n(mean +- 95% CI over replicate \
+             populations, root seed {root_seed}).\n\n{}",
             t.render()
         ),
     );

@@ -34,7 +34,12 @@ pub struct EmpiricalCoverage {
 /// "Correct" follows §5.3: the technique must determine whether the line
 /// has fewer than two faults (enabled) or not (disabled); for enabled
 /// lines, a claimed correction must also point at the real fault.
-pub fn measure(model: &CellFailureModel, vdd: NormVdd, samples: usize, seed: u64) -> EmpiricalCoverage {
+pub fn measure(
+    model: &CellFailureModel,
+    vdd: NormVdd,
+    samples: usize,
+    seed: u64,
+) -> EmpiricalCoverage {
     let mut rng = StreamRng::new(seed);
     let mut secded_ok = 0usize;
     let mut dected_ok = 0usize;
@@ -64,7 +69,9 @@ pub fn measure(model: &CellFailureModel, vdd: NormVdd, samples: usize, seed: u64
         let secded_verdict = secded_codec.decode(&corrupted, secded_code);
         let secded_correct = match faults {
             0 => secded_verdict == SecdedDecode::Clean,
-            1 => matches!(secded_verdict, SecdedDecode::CorrectedData { bit } if correction_is_right(&data, &corrupted, bit)),
+            1 => {
+                matches!(secded_verdict, SecdedDecode::CorrectedData { bit } if correction_is_right(&data, &corrupted, bit))
+            }
             _ => secded_verdict.is_uncorrectable(),
         };
         if secded_correct {
@@ -146,8 +153,18 @@ mod tests {
         let ana = coverage_at(&model, vdd);
         // The analytic model makes simplifications (SECDED "fails" at >= 3
         // errors, etc.); agreement within a couple of points validates both.
-        assert!((emp.killi - ana.killi).abs() < 0.02, "{} vs {}", emp.killi, ana.killi);
-        assert!((emp.secded - ana.secded).abs() < 0.03, "{} vs {}", emp.secded, ana.secded);
+        assert!(
+            (emp.killi - ana.killi).abs() < 0.02,
+            "{} vs {}",
+            emp.killi,
+            ana.killi
+        );
+        assert!(
+            (emp.secded - ana.secded).abs() < 0.03,
+            "{} vs {}",
+            emp.secded,
+            ana.secded
+        );
     }
 
     #[test]

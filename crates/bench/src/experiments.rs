@@ -254,10 +254,7 @@ pub fn table5() -> String {
     push("MS-ECC (our OLSC)", m.per_line_bits(checkbits::OLSC_IMPL));
     push("SECDED", m.per_line_bits(checkbits::SECDED));
     for r in [256usize, 128, 64, 32, 16] {
-        push(
-            &format!("Killi 1:{r}"),
-            m.killi_bits(r, checkbits::SECDED),
-        );
+        push(&format!("Killi 1:{r}"), m.killi_bits(r, checkbits::SECDED));
     }
     format!(
         "Table 5: error-protection area (paper: DECTED 1.9x / 4.3%, MS-ECC 18x /\n\
@@ -320,13 +317,8 @@ pub fn table7() -> String {
         "Killi area / MS-ECC",
     ]);
     for (v, ratio) in [(0.600, 8usize), (0.575, 2)] {
-        let capacity = LineFaultDistribution::enabled_fraction_at(
-            &model,
-            NormVdd(v),
-            FreqGhz::PEAK,
-            523,
-            11,
-        );
+        let capacity =
+            LineFaultDistribution::enabled_fraction_at(&model, NormVdd(v), FreqGhz::PEAK, 523, 11);
         t.row(vec![
             format!("{v:.3}"),
             pct(capacity, 1),

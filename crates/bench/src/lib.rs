@@ -3,19 +3,26 @@
 //!
 //! - [`schemes`] — the protection-scheme factory,
 //! - [`runner`] — the parallel (workload x scheme) simulation matrix,
+//! - [`sweep`] — the Monte-Carlo replication engine (mean/stddev/CI95
+//!   per (vdd, scheme, workload) cell, JSON reports),
+//! - [`exec`] — the shared work-stealing thread pool + progress counters,
 //! - [`experiments`] — one function per paper figure/table,
 //! - [`empirical`] — Monte-Carlo validation of the §5.3 coverage algebra,
-//! - [`report`] — text-table rendering.
+//! - [`report`] — text-table rendering,
+//! - [`timing`] — the in-repo micro-benchmark harness for `benches/`.
 //!
 //! Binaries: `fig1`, `fig2`, `fig4`, `fig5`, `fig6`, `table4`..`table7`,
 //! `ablation`, and `repro` (runs everything, writing `results/*.txt`).
 //! Scale the simulation size with `KILLI_OPS_PER_CU` (default 150000).
 
 pub mod empirical;
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod schemes;
+pub mod sweep;
+pub mod timing;
 
 /// Reads the per-CU trace length from `KILLI_OPS_PER_CU` (default
 /// `150_000`; tests and CI can shrink it).

@@ -96,6 +96,19 @@ pub fn emit(name: &str, content: &str) {
     }
 }
 
+/// Writes a file verbatim into `results/` under the workspace root
+/// (created as needed) without echoing it to stdout — used for
+/// machine-readable artifacts such as the sweep engine's JSON reports.
+/// IO errors are reported, not fatal.
+pub fn emit_file(filename: &str, content: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(dir.join(filename), content))
+    {
+        eprintln!("warning: could not write results/{filename}: {e}");
+    }
+}
+
 /// Formats a fraction as a percentage with the given decimals.
 pub fn pct(v: f64, decimals: usize) -> String {
     format!("{:.decimals$}%", v * 100.0)

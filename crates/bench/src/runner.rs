@@ -54,22 +54,26 @@ pub struct RunResult {
     pub disabled_lines: u64,
 }
 
-/// Runs one (workload, scheme) cell.
-pub fn run_one(
+/// Runs one (workload, scheme) simulation with explicit trace seed and
+/// geometry — the primitive both [`run_matrix`] and the Monte-Carlo sweep
+/// engine build on. Results are a pure function of the arguments.
+pub fn run_cell(
     workload: Workload,
     spec: SchemeSpec,
-    config: &MatrixConfig,
+    gpu: &GpuConfig,
+    ops_per_cu: usize,
     map: &Arc<FaultMap>,
+    trace_seed: u64,
 ) -> RunResult {
-    let lines = config.gpu.l2.lines();
-    let ways = config.gpu.l2.ways;
+    let lines = gpu.l2.lines();
+    let ways = gpu.l2.ways;
     let protection = spec.build(map, lines, ways);
-    let mut sim = GpuSim::new(config.gpu, Arc::clone(map), protection, config.seed);
+    let mut sim = GpuSim::new(*gpu, Arc::clone(map), protection, trace_seed);
     let params = TraceParams {
-        cus: config.gpu.cus,
-        ops_per_cu: config.ops_per_cu,
-        seed: config.seed,
-        l2_bytes: config.gpu.l2.size_bytes,
+        cus: gpu.cus,
+        ops_per_cu,
+        seed: trace_seed,
+        l2_bytes: gpu.l2.size_bytes,
     };
     let stats = sim.run(workload.trace(&params));
     let disabled = sim.l2().protection().protection_stats().disabled_lines;
@@ -81,9 +85,26 @@ pub fn run_one(
     }
 }
 
+/// Runs one (workload, scheme) cell of a matrix configuration.
+pub fn run_one(
+    workload: Workload,
+    spec: SchemeSpec,
+    config: &MatrixConfig,
+    map: &Arc<FaultMap>,
+) -> RunResult {
+    run_cell(
+        workload,
+        spec,
+        &config.gpu,
+        config.ops_per_cu,
+        map,
+        config.seed,
+    )
+}
+
 /// Runs the full (workload x scheme) matrix, plus the fault-free baseline
-/// for every workload, in parallel. Results preserve matrix order:
-/// baselines first, then workload-major over `schemes`.
+/// for every workload, on the shared work-stealing pool. Results preserve
+/// matrix order: baselines first, then workload-major over `schemes`.
 pub fn run_matrix(
     workloads: &[Workload],
     schemes: &[SchemeSpec],
@@ -110,37 +131,10 @@ pub fn run_matrix(
         }
     }
 
-    let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
-        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let results = Arc::new(results);
-    let jobs = Arc::new(jobs);
-
-    std::thread::scope(|scope| {
-        for _ in 0..config.threads.max(1) {
-            let jobs = Arc::clone(&jobs);
-            let results = Arc::clone(&results);
-            let next = Arc::clone(&next);
-            let lv_map = Arc::clone(&lv_map);
-            let free_map = Arc::clone(&free_map);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (w, s) = jobs[i];
-                let map = if s.is_baseline() { &free_map } else { &lv_map };
-                let r = run_one(w, s, config, map);
-                *results[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-
-    Arc::try_unwrap(results)
-        .expect("all workers joined")
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every job ran"))
-        .collect()
+    crate::exec::par_map(config.threads, &jobs, None, |_, &(w, s)| {
+        let map = if s.is_baseline() { &free_map } else { &lv_map };
+        run_one(w, s, config, map)
+    })
 }
 
 /// Convenience lookup: the baseline result for a workload.
@@ -275,10 +269,7 @@ mod tests {
         let config = tiny_config();
         let results = run_matrix(&[Workload::Hacc], &[SchemeSpec::Killi(16)], &config);
         let base = baseline_of(&results, "hacc");
-        let killi = results
-            .iter()
-            .find(|r| r.scheme == "killi-1:16")
-            .unwrap();
+        let killi = results.iter().find(|r| r.scheme == "killi-1:16").unwrap();
         let norm = killi.stats.normalized_time(&base.stats);
         assert!(norm >= 0.99, "norm = {norm}");
     }

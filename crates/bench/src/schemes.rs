@@ -86,12 +86,7 @@ impl SchemeSpec {
     }
 
     /// Builds the protection scheme for an L2 of `lines` x `ways`.
-    pub fn build(
-        &self,
-        map: &Arc<FaultMap>,
-        lines: usize,
-        ways: usize,
-    ) -> Box<dyn LineProtection> {
+    pub fn build(&self, map: &Arc<FaultMap>, lines: usize, ways: usize) -> Box<dyn LineProtection> {
         match *self {
             SchemeSpec::Baseline => Box::new(Unprotected::new()),
             SchemeSpec::Dected => Box::new(PerLineEcc::dected_per_line(Arc::clone(map), lines)),

@@ -1,0 +1,649 @@
+//! Parallel Monte-Carlo sweep engine with statistical replication.
+//!
+//! The paper's headline numbers (Figures 4/5, Table 6, the 0.625 x VDD
+//! story) are statements about *distributions* of fault maps, but a
+//! single-seed run reports one draw. This engine fans the full
+//! (replicate x NormVdd x scheme x workload) cross-product out over the
+//! shared work-stealing pool ([`crate::exec`]) and aggregates every
+//! [`SimStats`] metric into mean / stddev / 95% confidence interval per
+//! (vdd, scheme, workload) cell.
+//!
+//! Determinism contract (regression-tested): all seeds derive from the
+//! root via [`derive_seed`] — replicate `r` draws die
+//! `derive_seed(root, "die", [r])` (the *same* die at every voltage, so
+//! the per-replicate fault populations stay monotonically nested across
+//! the grid) and trace `derive_seed(root, "trace", [workload, r])` (the
+//! same traffic for a scheme and its baseline). The parallel phase
+//! writes integer counters into per-job slots; the floating-point
+//! aggregation then folds replicates in a fixed order on one thread.
+//! The emitted JSON is therefore byte-identical for any thread count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::map::FaultMap;
+use killi_fault::rng::derive_seed;
+use killi_sim::gpu::GpuConfig;
+use killi_sim::stats::SimStats;
+use killi_workloads::Workload;
+
+use crate::exec::{par_map, Progress};
+use crate::report::Table;
+use crate::runner::run_cell;
+use crate::schemes::SchemeSpec;
+
+/// Streaming mean/variance accumulator (Welford's algorithm): numerically
+/// stable and single-pass, so aggregation never materializes sample
+/// vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Folds one sample in.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples folded so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 with no samples).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample standard deviation (0 with fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95% confidence interval on the mean (normal
+    /// approximation: `1.96 * stddev / sqrt(n)`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// The 95% confidence interval `(lo, hi)` on the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean - h, self.mean + h)
+    }
+
+    /// Formats `mean +- ci95` for text tables.
+    pub fn fmt_ci(&self, decimals: usize) -> String {
+        format!(
+            "{:.d$} +- {:.d$}",
+            self.mean(),
+            self.ci95_half_width(),
+            d = decimals
+        )
+    }
+}
+
+/// One simulation's scalar outcomes, in the fixed metric order of
+/// [`METRIC_NAMES`].
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    stats: SimStats,
+    disabled_lines: u64,
+    norm_time: f64,
+}
+
+/// Metric names, in emission order. `norm_time` is runtime normalized to
+/// the same replicate's fault-free baseline (the pairing removes
+/// trace-seed variance from the ratio).
+pub const METRIC_NAMES: [&str; 9] = [
+    "norm_time",
+    "cycles",
+    "mpki",
+    "l2_hit_rate",
+    "l2_error_misses",
+    "ecc_induced_invalidations",
+    "sdc_events",
+    "corrections",
+    "disabled_lines",
+];
+
+fn metric_values(s: &Sample) -> [f64; 9] {
+    [
+        s.norm_time,
+        s.stats.cycles as f64,
+        s.stats.mpki(),
+        s.stats.l2_hit_rate(),
+        s.stats.l2_error_misses as f64,
+        s.stats.ecc_induced_invalidations as f64,
+        s.stats.sdc_events as f64,
+        s.stats.corrections as f64,
+        s.disabled_lines as f64,
+    ]
+}
+
+/// Full cross-product configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Root seed every die and trace seed derives from.
+    pub root_seed: u64,
+    /// Monte-Carlo replicates per cell.
+    pub replications: usize,
+    /// Low-voltage operating points.
+    pub vdds: Vec<f64>,
+    /// Protection schemes under test (baselines run implicitly).
+    pub schemes: Vec<SchemeSpec>,
+    /// Workloads.
+    pub workloads: Vec<Workload>,
+    /// Operations per CU stream.
+    pub ops_per_cu: usize,
+    /// GPU hardware configuration.
+    pub gpu: GpuConfig,
+    /// Worker threads.
+    pub threads: usize,
+    /// Progress cadence (print every N completed jobs; 0 = silent).
+    pub progress_every: usize,
+}
+
+impl SweepConfig {
+    /// The paper's operating grid around 0.625 x VDD with Killi 1:64.
+    pub fn paper(ops_per_cu: usize, root_seed: u64, replications: usize) -> Self {
+        SweepConfig {
+            root_seed,
+            replications,
+            vdds: vec![0.65, 0.625, 0.6],
+            schemes: vec![SchemeSpec::Killi(64)],
+            workloads: vec![Workload::Xsbench, Workload::Hacc],
+            ops_per_cu,
+            gpu: GpuConfig::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            progress_every: 0,
+        }
+    }
+
+    /// Simulations the sweep will run (baselines + cells).
+    pub fn job_count(&self) -> usize {
+        self.replications
+            * (self.workloads.len() + self.vdds.len() * self.schemes.len() * self.workloads.len())
+    }
+}
+
+/// Aggregated statistics of one (vdd, scheme, workload) cell. Baseline
+/// runs appear as cells with scheme `"baseline"` at the nominal voltage
+/// `1.0`.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Operating point (1.0 for the fault-free baseline).
+    pub vdd: f64,
+    /// Scheme label.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Per-metric accumulators, indexed like [`METRIC_NAMES`].
+    pub metrics: [Accumulator; 9],
+}
+
+impl SweepCell {
+    /// The accumulator of a named metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown metric name.
+    pub fn metric(&self, name: &str) -> &Accumulator {
+        let i = METRIC_NAMES
+            .iter()
+            .position(|&m| m == name)
+            .unwrap_or_else(|| panic!("unknown metric '{name}'"));
+        &self.metrics[i]
+    }
+}
+
+/// The aggregated result of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Root seed of the run.
+    pub root_seed: u64,
+    /// Replicates per cell.
+    pub replications: usize,
+    /// Operations per CU stream.
+    pub ops_per_cu: usize,
+    /// The voltage grid.
+    pub vdds: Vec<f64>,
+    /// Scheme labels.
+    pub schemes: Vec<String>,
+    /// Workload names.
+    pub workloads: Vec<&'static str>,
+    /// Baseline cells first, then vdd-major / scheme / workload order.
+    pub cells: Vec<SweepCell>,
+    /// Wall-clock seconds of the parallel phase. Deliberately *not*
+    /// serialized to JSON — the report must be byte-identical across
+    /// thread counts and machines.
+    pub wall_secs: f64,
+}
+
+/// One simulation job of the fan-out phase.
+#[derive(Debug, Clone, Copy)]
+enum Job {
+    Baseline {
+        w: usize,
+        rep: usize,
+    },
+    Cell {
+        v: usize,
+        s: usize,
+        w: usize,
+        rep: usize,
+    },
+}
+
+/// Runs the sweep: builds per-(voltage, replicate) fault maps in
+/// parallel, fans the cross-product out, then folds the results into
+/// per-cell statistics in deterministic replicate order.
+pub fn run_sweep(config: &SweepConfig) -> SweepReport {
+    let started = Instant::now();
+    let lines = config.gpu.l2.lines();
+    let model = CellFailureModel::finfet14();
+    let reps = config.replications.max(1);
+
+    // Phase 1: fault maps. maps[v * reps + rep]; one die per replicate,
+    // shared across the voltage grid.
+    let map_keys: Vec<(usize, usize)> = (0..config.vdds.len())
+        .flat_map(|v| (0..reps).map(move |rep| (v, rep)))
+        .collect();
+    let maps: Vec<Arc<FaultMap>> = par_map(config.threads, &map_keys, None, |_, &(v, rep)| {
+        Arc::new(FaultMap::build_replicate(
+            lines,
+            &model,
+            NormVdd(config.vdds[v]),
+            FreqGhz::PEAK,
+            config.root_seed,
+            rep as u64,
+        ))
+    });
+    let free_map = Arc::new(FaultMap::fault_free(lines));
+
+    // Phase 2: simulations. Baselines first (workload-major), then cells
+    // (vdd-major, scheme, workload), replicates innermost.
+    let mut jobs: Vec<Job> = Vec::with_capacity(config.job_count());
+    for w in 0..config.workloads.len() {
+        for rep in 0..reps {
+            jobs.push(Job::Baseline { w, rep });
+        }
+    }
+    for v in 0..config.vdds.len() {
+        for s in 0..config.schemes.len() {
+            for w in 0..config.workloads.len() {
+                for rep in 0..reps {
+                    jobs.push(Job::Cell { v, s, w, rep });
+                }
+            }
+        }
+    }
+
+    let trace_seed = |w: usize, rep: usize| {
+        // Key traces by the workload's stable identity, not its position
+        // in this sweep's subset, so partial sweeps replay full-sweep
+        // traffic exactly.
+        let workload_id = Workload::ALL
+            .iter()
+            .position(|&x| x == config.workloads[w])
+            .expect("workload in ALL") as u64;
+        derive_seed(config.root_seed, "trace", &[workload_id, rep as u64])
+    };
+
+    let progress = Progress::new("sweep", jobs.len(), config.progress_every);
+    let results = par_map(config.threads, &jobs, Some(&progress), |_, &job| {
+        let (workload, spec, map, rep) = match job {
+            Job::Baseline { w, rep } => (config.workloads[w], SchemeSpec::Baseline, &free_map, rep),
+            Job::Cell { v, s, w, rep } => (
+                config.workloads[w],
+                config.schemes[s],
+                &maps[v * reps + rep],
+                rep,
+            ),
+        };
+        let w = match job {
+            Job::Baseline { w, .. } | Job::Cell { w, .. } => w,
+        };
+        let r = run_cell(
+            workload,
+            spec,
+            &config.gpu,
+            config.ops_per_cu,
+            map,
+            trace_seed(w, rep),
+        );
+        (r.stats, r.disabled_lines)
+    });
+
+    // Phase 3: deterministic sequential aggregation. Baseline cycles per
+    // (workload, replicate) pair the normalized-time ratios.
+    let baseline_cycles = |w: usize, rep: usize| results[w * reps + rep].0.cycles;
+    let fold = |cell: &mut SweepCell, job_index: usize, w: usize, rep: usize| {
+        let (stats, disabled) = results[job_index];
+        let sample = Sample {
+            stats,
+            disabled_lines: disabled,
+            norm_time: stats.cycles as f64 / baseline_cycles(w, rep).max(1) as f64,
+        };
+        for (acc, value) in cell.metrics.iter_mut().zip(metric_values(&sample)) {
+            acc.add(value);
+        }
+    };
+
+    let mut cells = Vec::new();
+    for (w, workload) in config.workloads.iter().enumerate() {
+        let mut cell = SweepCell {
+            vdd: 1.0,
+            scheme: "baseline".to_string(),
+            workload: workload.name(),
+            metrics: Default::default(),
+        };
+        for rep in 0..reps {
+            fold(&mut cell, w * reps + rep, w, rep);
+        }
+        cells.push(cell);
+    }
+    let cells_offset = config.workloads.len() * reps;
+    let mut job_index = cells_offset;
+    for v in 0..config.vdds.len() {
+        for s in 0..config.schemes.len() {
+            for (w, workload) in config.workloads.iter().enumerate() {
+                let mut cell = SweepCell {
+                    vdd: config.vdds[v],
+                    scheme: config.schemes[s].label(),
+                    workload: workload.name(),
+                    metrics: Default::default(),
+                };
+                for rep in 0..reps {
+                    fold(&mut cell, job_index, w, rep);
+                    job_index += 1;
+                }
+                cells.push(cell);
+            }
+        }
+    }
+
+    SweepReport {
+        root_seed: config.root_seed,
+        replications: reps,
+        ops_per_cu: config.ops_per_cu,
+        vdds: config.vdds.clone(),
+        schemes: config.schemes.iter().map(SchemeSpec::label).collect(),
+        workloads: config.workloads.iter().map(|w| w.name()).collect(),
+        cells,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Canonical JSON float: shortest round-trip representation (stable for
+/// identical bits), `null` for non-finite values.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl SweepReport {
+    /// Serializes the report as deterministic, pretty-printed JSON
+    /// (schema `killi-sweep/v1`). Wall-clock timing is excluded so the
+    /// bytes depend only on (config, root seed) — never on thread count.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"killi-sweep/v1\",\n");
+        out.push_str(&format!("  \"root_seed\": {},\n", self.root_seed));
+        out.push_str(&format!("  \"replications\": {},\n", self.replications));
+        out.push_str(&format!("  \"ops_per_cu\": {},\n", self.ops_per_cu));
+        let list = |items: Vec<String>| items.join(", ");
+        out.push_str(&format!(
+            "  \"vdds\": [{}],\n",
+            list(self.vdds.iter().map(|&v| json_f64(v)).collect())
+        ));
+        out.push_str(&format!(
+            "  \"schemes\": [{}],\n",
+            list(self.schemes.iter().map(|s| json_str(s)).collect())
+        ));
+        out.push_str(&format!(
+            "  \"workloads\": [{}],\n",
+            list(self.workloads.iter().map(|w| json_str(w)).collect())
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"vdd\": {},\n", json_f64(cell.vdd)));
+            out.push_str(&format!("      \"scheme\": {},\n", json_str(&cell.scheme)));
+            out.push_str(&format!(
+                "      \"workload\": {},\n",
+                json_str(cell.workload)
+            ));
+            out.push_str(&format!("      \"n\": {},\n", cell.metrics[0].n()));
+            out.push_str("      \"metrics\": {\n");
+            for (m, (name, acc)) in METRIC_NAMES.iter().zip(cell.metrics.iter()).enumerate() {
+                let (lo, hi) = acc.ci95();
+                out.push_str(&format!(
+                    "        {}: {{\"mean\": {}, \"stddev\": {}, \"ci95\": [{}, {}]}}{}\n",
+                    json_str(name),
+                    json_f64(acc.mean()),
+                    json_f64(acc.stddev()),
+                    json_f64(lo),
+                    json_f64(hi),
+                    if m + 1 < METRIC_NAMES.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      }\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the headline metrics as an aligned text table.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "vdd",
+            "scheme",
+            "workload",
+            "norm.time (95% CI)",
+            "mpki",
+            "sdc",
+            "disabled",
+        ]);
+        for cell in &self.cells {
+            t.row(vec![
+                format!("{}", cell.vdd),
+                cell.scheme.clone(),
+                cell.workload.to_string(),
+                cell.metric("norm_time").fmt_ci(4),
+                format!("{:.2}", cell.metric("mpki").mean()),
+                format!("{:.2}", cell.metric("sdc_events").mean()),
+                format!("{:.1}", cell.metric("disabled_lines").mean()),
+            ]);
+        }
+        t
+    }
+
+    /// A cell by key (baselines: scheme `"baseline"`, vdd `1.0`).
+    pub fn cell(&self, vdd: f64, scheme: &str, workload: &str) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.vdd == vdd && c.scheme == scheme && c.workload == workload)
+    }
+}
+
+/// Serializes several reports as one deterministic JSON array (used by
+/// experiments that sweep disjoint operating points, e.g. §5.5 lowvmin).
+pub fn json_array(reports: &[SweepReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        let body = r.to_json();
+        // Indent the nested object by two spaces.
+        for line in body.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        if i + 1 < reports.len() {
+            let len = out.trim_end().len();
+            out.truncate(len);
+            out.push_str(",\n");
+        }
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use killi_sim::cache::CacheGeometry;
+
+    fn tiny_sweep() -> SweepConfig {
+        SweepConfig {
+            root_seed: 7,
+            replications: 2,
+            vdds: vec![0.625, 0.6],
+            schemes: vec![SchemeSpec::Killi(16)],
+            workloads: vec![Workload::Fft, Workload::Hacc],
+            ops_per_cu: 1500,
+            gpu: GpuConfig {
+                cus: 2,
+                l2: CacheGeometry {
+                    size_bytes: 64 * 1024,
+                    ways: 8,
+                    line_bytes: 64,
+                },
+                l2_banks: 4,
+                mem_latency: 100,
+                ..GpuConfig::default()
+            },
+            threads: 2,
+            progress_every: 0,
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_two_pass_statistics() {
+        let xs = [3.0, 5.0, 7.0, 11.0, 13.0];
+        let mut acc = Accumulator::default();
+        for &x in &xs {
+            acc.add(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.stddev() - var.sqrt()).abs() < 1e-12);
+        let (lo, hi) = acc.ci95();
+        assert!(lo < mean && mean < hi);
+        assert!((hi - mean - 1.96 * var.sqrt() / (5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_degenerate_cases() {
+        let mut acc = Accumulator::default();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.stddev(), 0.0);
+        acc.add(4.0);
+        assert_eq!(acc.mean(), 4.0);
+        assert_eq!(acc.stddev(), 0.0);
+        assert_eq!(acc.ci95(), (4.0, 4.0));
+    }
+
+    #[test]
+    fn sweep_produces_every_cell_with_full_replication() {
+        let config = tiny_sweep();
+        let report = run_sweep(&config);
+        // 2 baselines + 2 vdds x 1 scheme x 2 workloads.
+        assert_eq!(report.cells.len(), 2 + 4);
+        for cell in &report.cells {
+            assert_eq!(cell.metrics[0].n(), 2, "{}/{}", cell.scheme, cell.workload);
+        }
+        let base = report.cell(1.0, "baseline", "fft").expect("baseline cell");
+        assert!((base.metric("norm_time").mean() - 1.0).abs() < 1e-12);
+        let killi = report.cell(0.6, "killi-1:16", "hacc").expect("killi cell");
+        assert!(killi.metric("cycles").mean() > 0.0);
+        assert!(killi.metric("norm_time").mean() >= 0.99);
+    }
+
+    #[test]
+    fn json_is_valid_enough_and_carries_schema() {
+        let report = run_sweep(&tiny_sweep());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"killi-sweep/v1\""));
+        assert!(json.contains("\"norm_time\""));
+        assert!(!json.contains("wall"), "timing must stay out of the JSON");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_array_wraps_reports() {
+        let r = run_sweep(&SweepConfig {
+            replications: 1,
+            vdds: vec![0.625],
+            workloads: vec![Workload::Fft],
+            ..tiny_sweep()
+        });
+        let arr = json_array(&[r.clone(), r]);
+        assert!(arr.starts_with("[\n"));
+        assert!(arr.ends_with("]\n"));
+        assert_eq!(arr.matches("killi-sweep/v1").count(), 2);
+    }
+
+    #[test]
+    fn baseline_pairing_uses_the_same_trace_per_replicate() {
+        // With zero faults a "protected" run and the baseline see the
+        // same traffic; their cycle counts per replicate must agree.
+        let mut config = tiny_sweep();
+        config.vdds = vec![0.95]; // no faults at near-nominal voltage
+        let report = run_sweep(&config);
+        for w in ["fft", "hacc"] {
+            let base = report.cell(1.0, "baseline", w).unwrap();
+            let cell = report.cell(0.95, "killi-1:16", w).unwrap();
+            let ratio = cell.metric("norm_time").mean();
+            assert!(
+                (0.99..1.2).contains(&ratio),
+                "{w}: unexpected norm time {ratio} (base {}, cell {})",
+                base.metric("cycles").mean(),
+                cell.metric("cycles").mean(),
+            );
+        }
+    }
+}

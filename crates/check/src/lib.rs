@@ -1,0 +1,244 @@
+//! Minimal property-testing harness for the Killi workspace.
+//!
+//! The build environment is fully offline, so the workspace cannot pull
+//! `proptest` from a registry. This crate provides the small subset the
+//! test suite actually needs — a seedable value generator plus a case
+//! runner with failure reporting — on top of the same SplitMix64
+//! primitives the fault model uses, with zero external dependencies.
+//!
+//! Environment knobs:
+//!
+//! - `KILLI_CHECK_CASES` — cases per property (default 64).
+//! - `KILLI_CHECK_SEED` — root seed (default fixed, so CI is stable).
+//!
+//! A failing property prints the per-case seed; rerun a single case with
+//! `Gen::new(<seed>)` in a scratch test, or replay the whole property
+//! with the printed `KILLI_CHECK_SEED`/`KILLI_CHECK_CASES` values.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// SplitMix64 finalizer (duplicated from `killi-fault` so this crate
+/// stays dependency-free and usable below it in the crate graph).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic value generator handed to each property case.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator for one case.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            state: splitmix64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.u64_below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform boolean.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// A reference to a uniformly chosen slice element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize_in(0, xs.len())]
+    }
+
+    /// A vector with a uniform length in `[min_len, max_len]` filled by
+    /// `f`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min_len, max_len + 1);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A set of up to `max_len` distinct `usize` values drawn from
+    /// `[0, universe)`; the realized length is uniform in
+    /// `[min_len, max_len]` when the universe allows it.
+    pub fn distinct(&mut self, universe: usize, min_len: usize, max_len: usize) -> BTreeSet<usize> {
+        let want = self.usize_in(min_len, max_len + 1).min(universe);
+        let mut out = BTreeSet::new();
+        // Rejection sampling; fine for the small sets tests draw.
+        while out.len() < want {
+            out.insert(self.usize_in(0, universe));
+        }
+        out
+    }
+}
+
+/// Number of cases per property (`KILLI_CHECK_CASES`, default 64).
+pub fn default_cases() -> u64 {
+    std::env::var("KILLI_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Root seed (`KILLI_CHECK_SEED`, default fixed so CI is reproducible).
+pub fn root_seed() -> u64 {
+    std::env::var("KILLI_CHECK_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x4B49_4C4C_495F_5052) // "KILLI_PR"
+}
+
+/// Runs `f` against `default_cases()` generated cases.
+///
+/// # Panics
+///
+/// Re-raises the first failing case's panic after printing how to
+/// reproduce it.
+pub fn check(name: &str, f: impl Fn(&mut Gen)) {
+    check_cases(name, default_cases(), f);
+}
+
+/// Runs `f` against an explicit number of generated cases.
+///
+/// # Panics
+///
+/// Re-raises the first failing case's panic after printing how to
+/// reproduce it.
+pub fn check_cases(name: &str, cases: u64, f: impl Fn(&mut Gen)) {
+    let root = root_seed();
+    for case in 0..cases {
+        let case_seed = splitmix64(root ^ splitmix64(case));
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut Gen::new(case_seed))));
+        if let Err(panic) = result {
+            eprintln!(
+                "[killi-check] property '{name}' failed at case {case}/{cases} \
+                 (case seed {case_seed:#018x}); replay with \
+                 KILLI_CHECK_SEED={root} KILLI_CHECK_CASES={cases}, or drive \
+                 Gen::new({case_seed:#018x}) directly"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_reproducible() {
+        let mut a = Gen::new(9);
+        let mut b = Gen::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::new(1);
+        for _ in 0..1000 {
+            assert!(g.u64_below(17) < 17);
+            let x = g.usize_in(3, 9);
+            assert!((3..9).contains(&x));
+            let f = g.f64_in(-1.0, 2.0);
+            assert!((-1.0..2.0).contains(&f));
+            let u = g.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_and_distinct_sizes() {
+        let mut g = Gen::new(2);
+        for _ in 0..200 {
+            let v = g.vec(1, 5, Gen::u64);
+            assert!((1..=5).contains(&v.len()));
+            let s = g.distinct(16, 2, 6);
+            assert!((2..=6).contains(&s.len()));
+            assert!(s.iter().all(|&x| x < 16));
+        }
+    }
+
+    #[test]
+    fn distinct_clamps_to_universe() {
+        let mut g = Gen::new(3);
+        let s = g.distinct(3, 3, 8);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn check_runs_every_case() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        check_cases("counting", 10, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn check_reports_failures() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_cases("always-fails", 3, |_| panic!("boom"));
+        }));
+        assert!(result.is_err());
+    }
+}

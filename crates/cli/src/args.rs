@@ -1,5 +1,5 @@
-//! Minimal flag parsing for the CLI (no external dependencies: the
-//! workspace's only third-party crates are rand/proptest/criterion).
+//! Minimal flag parsing for the CLI (the workspace is fully
+//! dependency-free, so there is no clap to lean on).
 
 use std::collections::HashMap;
 

@@ -6,7 +6,9 @@
 //! killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
 //! killi simulate  [--workload xsbench] [--scheme killi] [--ratio 64]
 //!                 [--vdd 0.625] [--ops 100000] [--seed 42]
-//! killi sweep     [--workload pennant] [--ratio 64] [--ops 50000]
+//! killi sweep     [--replications 8] [--threads 4] [--vdds 0.65,0.625,0.6]
+//!                 [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
+//!                 [--ops 10000] [--seed 42] [--l2kb 512] [--out FILE.json]
 //! killi record    --out trace.ktrc [--workload fft] [--ops 100000]
 //! killi replay    --in trace.ktrc [--scheme killi] [--vdd 0.625]
 //! killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
@@ -18,10 +20,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use args::{ArgError, Args};
-use killi::scheme::{KilliConfig, KilliScheme};
 use killi_bench::report::Table;
 use killi_bench::runner::{baseline_of, run_matrix, MatrixConfig};
 use killi_bench::schemes::SchemeSpec;
+use killi_bench::sweep::{run_sweep, SweepConfig};
 use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
 use killi_fault::line_stats::LineFaultDistribution;
 use killi_fault::map::FaultMap;
@@ -39,7 +41,12 @@ USAGE:
   killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
   killi simulate  [--workload xsbench] [--scheme killi|dected|flair|ms-ecc]
                   [--ratio 64] [--vdd 0.625] [--ops 100000] [--seed 42]
-  killi sweep     [--workload pennant] [--ratio 64] [--ops 50000]
+  killi sweep     [--replications 8] [--threads N] [--vdds 0.65,0.625,0.6]
+                  [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
+                  [--ops 10000] [--seed 42] [--l2kb 512] [--progress 10]
+                  [--out results/BENCH_sweep.json]
+                  Monte-Carlo sweep: statistics (mean/stddev/95% CI) over
+                  seed-derived replicate fault maps, written as JSON.
   killi record    --out trace.ktrc [--workload fft] [--ops 100000] [--seed 42]
   killi replay    --in trace.ktrc  [--scheme killi] [--ratio 64] [--vdd 0.625]
   killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
@@ -266,10 +273,7 @@ fn cmd_replay(args: &Args) -> Result<(), ArgError> {
     let protection = spec.build(&map, config.l2.lines(), config.l2.ways);
     let mut sim = GpuSim::new(config, map, protection, seed);
     let stats = sim.run(trace);
-    println!(
-        "replayed {input} under {} at {vdd} x VDD:",
-        spec.label()
-    );
+    println!("replayed {input} under {} at {vdd} x VDD:", spec.label());
     println!("  cycles       {:>12}", stats.cycles);
     println!("  L2 MPKI      {:>12.2}", stats.mpki());
     println!("  error misses {:>12}", stats.l2_error_misses);
@@ -295,74 +299,110 @@ fn cmd_profile(args: &Args) -> Result<(), ArgError> {
     println!("  CUs                 {:>12}", profile.cus);
     println!("  operations          {:>12}", profile.ops);
     println!("  instructions        {:>12}", profile.instructions);
-    println!("  loads / stores      {:>6} / {}", profile.loads, profile.stores);
+    println!(
+        "  loads / stores      {:>6} / {}",
+        profile.loads, profile.stores
+    );
     println!(
         "  footprint           {:>9.2} MiB ({} lines)",
         profile.footprint_bytes as f64 / 1024.0 / 1024.0,
         profile.footprint_lines
     );
     println!("  mean reuse          {:>12.2}", profile.mean_reuse);
-    println!("  write share         {:>11.1}%", profile.write_share * 100.0);
+    println!(
+        "  write share         {:>11.1}%",
+        profile.write_share * 100.0
+    );
     println!("  compute per access  {:>12.2}", profile.compute_per_access);
     Ok(())
 }
 
-fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
-    let workload = parse_workload(&args.get_or("workload", "pennant"))?;
-    let ratio: usize = args.get_num("ratio", 64)?;
-    let ops: usize = args.get_num("ops", 50_000)?;
-    let seed: u64 = args.get_num("seed", 42)?;
-
-    let config = GpuConfig::default();
-    let model = CellFailureModel::finfet14();
-    let params = TraceParams {
-        cus: config.cus,
-        ops_per_cu: ops,
-        seed,
-        l2_bytes: config.l2.size_bytes,
-    };
-    let baseline = {
-        let map = Arc::new(FaultMap::fault_free(config.l2.lines()));
-        let killi = KilliScheme::new(
-            KilliConfig::with_ratio(ratio),
-            Arc::clone(&map),
-            config.l2.lines(),
-            config.l2.ways,
-        );
-        let mut sim = GpuSim::new(config, map, Box::new(killi), seed);
-        sim.run(workload.trace(&params))
-    };
-    let mut t = Table::new(vec!["vdd", "norm.time", "mpki", "disabled", "sdc"]);
-    for v in [0.675, 0.65, 0.625, 0.6, 0.575, 0.55] {
-        let map = Arc::new(FaultMap::build(
-            config.l2.lines(),
-            &model,
-            NormVdd(v),
-            FreqGhz::PEAK,
-            seed,
-        ));
-        let killi = KilliScheme::new(
-            KilliConfig::with_ratio(ratio),
-            Arc::clone(&map),
-            config.l2.lines(),
-            config.l2.ways,
-        );
-        let mut sim = GpuSim::new(config, map, Box::new(killi), seed);
-        let stats = sim.run(workload.trace(&params));
-        let disabled = sim.l2().protection().protection_stats().disabled_lines;
-        t.row(vec![
-            format!("{v}"),
-            format!("{:.4}", stats.cycles as f64 / baseline.cycles as f64),
-            format!("{:.2}", stats.mpki()),
-            disabled.to_string(),
-            stats.sdc_events.to_string(),
-        ]);
+/// Parses a comma-separated flag value through `parse`, or `defaults`
+/// when the flag is absent.
+fn parse_list<T>(
+    args: &Args,
+    name: &str,
+    defaults: &str,
+    parse: impl Fn(&str) -> Result<T, ArgError>,
+) -> Result<Vec<T>, ArgError> {
+    let raw = args.get_or(name, defaults);
+    let items: Result<Vec<T>, ArgError> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(ArgError(format!("--{name} needs at least one value")));
     }
-    println!(
-        "Killi 1:{ratio} voltage sweep on {} ({} ops/CU):\n{}",
-        workload.name(),
-        ops,
-        t.render()
+    Ok(items)
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
+    let replications: usize = args.get_num("replications", 8)?;
+    let ratio: usize = args.get_num("ratio", 64)?;
+    let ops: usize = args.get_num("ops", 10_000)?;
+    let seed: u64 = args.get_num("seed", 42)?;
+    let threads: usize = args
+        .get_num(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )?
+        .max(1);
+    let l2_kb: usize = args.get_num("l2kb", 512)?;
+    let out = args.get_or("out", "results/BENCH_sweep.json");
+    let vdds = parse_list(args, "vdds", "0.65,0.625,0.6", |s| {
+        s.parse::<f64>()
+            .map_err(|_| ArgError(format!("--vdds: '{s}' is not a number")))
+    })?;
+    let workloads = parse_list(args, "workloads", "xsbench,hacc", parse_workload)?;
+    let schemes = parse_list(args, "schemes", "killi", |s| parse_scheme(s, ratio))?;
+
+    let gpu = GpuConfig {
+        l2: killi_sim::cache::CacheGeometry {
+            size_bytes: l2_kb * 1024,
+            ways: 16,
+            line_bytes: 64,
+        },
+        ..GpuConfig::default()
+    };
+    let config = SweepConfig {
+        root_seed: seed,
+        replications,
+        vdds,
+        schemes,
+        workloads,
+        ops_per_cu: ops,
+        gpu,
+        threads,
+        progress_every: args.get_num("progress", 10)?,
+    };
+    eprintln!(
+        "sweep: {} simulations ({} replications x {} vdds x {} schemes x {} workloads \
+         + baselines) on {} threads",
+        config.job_count(),
+        config.replications,
+        config.vdds.len(),
+        config.schemes.len(),
+        config.workloads.len(),
+        config.threads,
     );
+    let report = run_sweep(&config);
+    println!(
+        "Monte-Carlo sweep (root seed {seed}, {replications} replications, \
+         {ops} ops/CU, {l2_kb} KiB L2) — mean over replicates:\n{}",
+        report.summary_table().render()
+    );
+    println!("wall time: {:.1}s on {} threads", report.wall_secs, threads);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(io_err)?;
+        }
+    }
+    std::fs::write(&out, report.to_json()).map_err(io_err)?;
+    println!("wrote {out}");
     Ok(())
 }

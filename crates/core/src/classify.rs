@@ -86,12 +86,10 @@ pub fn classify_unknown(
             // must lie in the very segment parity flagged. A mismatch means
             // a >= 3-error pattern aliased to a correctable syndrome
             // (SECDED miscorrection) — disable instead of corrupting data.
-            SecdedDecode::CorrectedData { bit } if bit % 16 == seg as usize => {
-                Verdict::SendClean {
-                    next: Dfh::Stable1,
-                    correct_bit: Some(bit),
-                }
-            }
+            SecdedDecode::CorrectedData { bit } if bit % 16 == seg as usize => Verdict::SendClean {
+                next: Dfh::Stable1,
+                correct_bit: Some(bit),
+            },
             SecdedDecode::CorrectedData { .. } => Verdict::ErrorMiss {
                 next: Dfh::Disabled,
             },
@@ -248,7 +246,10 @@ mod tests {
     use killi_ecc::parity::{seg16, SegObservation};
     use killi_ecc::secded::secded;
 
-    fn obs(data: &Line512, reference: &Line512) -> (SegObservation, SecdedObservation, SecdedDecode) {
+    fn obs(
+        data: &Line512,
+        reference: &Line512,
+    ) -> (SegObservation, SecdedObservation, SecdedDecode) {
         let codec = secded();
         let code = codec.encode(reference);
         let seg = SegObservation::observe16(seg16(reference), seg16(data));

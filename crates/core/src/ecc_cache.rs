@@ -96,7 +96,10 @@ impl EccCache {
         let entries = l2_lines / config.ratio;
         assert!(entries >= config.ways, "ECC cache smaller than one set");
         let sets = entries / config.ways;
-        assert!(sets.is_power_of_two(), "ECC cache sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "ECC cache sets must be a power of two"
+        );
         EccCache {
             sets,
             ways: config.ways,
@@ -184,11 +187,7 @@ impl EccCache {
     /// Inserts (or replaces) the entry for `l2_line`. Returns the L2 line
     /// whose entry was evicted to make room, together with its payload (so
     /// the displaced line can still be trained on its way out), if any.
-    pub fn insert(
-        &mut self,
-        l2_line: LineId,
-        payload: EccPayload,
-    ) -> Option<(LineId, EccPayload)> {
+    pub fn insert(&mut self, l2_line: LineId, payload: EccPayload) -> Option<(LineId, EccPayload)> {
         self.accesses += 1;
         self.clock += 1;
         let clock = self.clock;
@@ -316,7 +315,7 @@ mod tests {
     #[test]
     fn capacity_eviction_reports_displaced_line() {
         let mut c = cache(64); // 16 entries, 4 ways -> 4 sets
-        // Lines mapping to the same ECC set: same (l2_line/16) % 4.
+                               // Lines mapping to the same ECC set: same (l2_line/16) % 4.
         let same_set: Vec<LineId> = (0..5).map(|i| i * 16 * 4).collect();
         for (i, &l) in same_set.iter().take(4).enumerate() {
             assert_eq!(c.insert(l, payload(i as u16)), None);

@@ -100,7 +100,9 @@ fn pack_olsc(bits: &[bool]) -> [u64; 4] {
 
 /// Unpacks OLSC checkbits.
 fn unpack_olsc(words: &[u64; 4], n: usize) -> Vec<bool> {
-    (0..n).map(|i| (words[i / 64] >> (i % 64)) & 1 == 1).collect()
+    (0..n)
+        .map(|i| (words[i / 64] >> (i % 64)) & 1 == 1)
+        .collect()
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -235,8 +237,7 @@ impl KilliScheme {
                         // Entry freed; generate the 4-bit stable parity from
                         // the array content (clean by the verdict).
                         self.ecc.invalidate(line);
-                        self.states[line].parity4 =
-                            self.map.corrupt_parity4(line, seg4(stored));
+                        self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(stored));
                         self.states[line].dected = false;
                     }
                     Dfh::Stable1 => {
@@ -580,24 +581,22 @@ impl LineProtection for KilliScheme {
                     return ReadOutcome::ErrorMiss { extra_cycles: 0 };
                 };
                 match payload {
-                    EccPayload::Olsc(words) => {
-                        match self.classify_olsc(line, stored, &words) {
-                            Some(bits) => {
-                                let corrected = !bits.is_empty();
-                                for bit in bits {
-                                    stored.flip_bit(bit);
-                                }
-                                if corrected {
-                                    self.corrections += 1;
-                                }
-                                ReadOutcome::Clean {
-                                    extra_cycles: 0,
-                                    corrected,
-                                }
+                    EccPayload::Olsc(words) => match self.classify_olsc(line, stored, &words) {
+                        Some(bits) => {
+                            let corrected = !bits.is_empty();
+                            for bit in bits {
+                                stored.flip_bit(bit);
                             }
-                            None => ReadOutcome::ErrorMiss { extra_cycles: 0 },
+                            if corrected {
+                                self.corrections += 1;
+                            }
+                            ReadOutcome::Clean {
+                                extra_cycles: 0,
+                                corrected,
+                            }
                         }
-                    }
+                        None => ReadOutcome::ErrorMiss { extra_cycles: 0 },
+                    },
                     EccPayload::Dected(code) => {
                         // §5.2 upgraded line: DEC-TED handles up to two
                         // errors without parity help.
@@ -631,8 +630,7 @@ impl LineProtection for KilliScheme {
                         }
                     }
                     EccPayload::Secded { code, .. } => {
-                        let seg =
-                            SegObservation::observe4(self.states[line].parity4, seg4(stored));
+                        let seg = SegObservation::observe4(self.states[line].parity4, seg4(stored));
                         let ecc = secded().observe(stored, code);
                         let dec = secded().interpret(ecc);
                         let verdict = classify_stable1(seg, ecc, dec);
@@ -648,9 +646,7 @@ impl LineProtection for KilliScheme {
                                     corrected,
                                 }
                             }
-                            Verdict::ErrorMiss { .. } => {
-                                ReadOutcome::ErrorMiss { extra_cycles: 0 }
-                            }
+                            Verdict::ErrorMiss { .. } => ReadOutcome::ErrorMiss { extra_cycles: 0 },
                         }
                     }
                 }
@@ -699,15 +695,16 @@ impl LineProtection for KilliScheme {
                     // The entry may just have been displaced from the ECC
                     // cache by the fill that is evicting this line; its
                     // payload is still on the wire and usable for training.
-                    let payload = self.ecc.lookup(line).or_else(|| {
-                        match self.pending_displaced.take() {
-                            Some((l, p)) if l == line => Some(p),
-                            other => {
-                                self.pending_displaced = other;
-                                None
-                            }
-                        }
-                    });
+                    let payload =
+                        self.ecc
+                            .lookup(line)
+                            .or_else(|| match self.pending_displaced.take() {
+                                Some((l, p)) if l == line => Some(p),
+                                other => {
+                                    self.pending_displaced = other;
+                                    None
+                                }
+                            });
                     match payload {
                         Some(EccPayload::Olsc(words)) => {
                             let _ = self.classify_olsc(line, stored, &words);
@@ -889,8 +886,15 @@ mod tests {
         masked.set_bit(10, true);
         s.on_fill(0, &masked);
         let mut arr = stored(&s, 0, &masked);
-        assert!(matches!(s.on_read_hit(0, &mut arr), ReadOutcome::Clean { .. }));
-        assert_eq!(s.dfh(0), Dfh::Stable0, "masked fault misclassified (by design)");
+        assert!(matches!(
+            s.on_read_hit(0, &mut arr),
+            ReadOutcome::Clean { .. }
+        ));
+        assert_eq!(
+            s.dfh(0),
+            Dfh::Stable0,
+            "masked fault misclassified (by design)"
+        );
 
         // The line is rewritten with data that unmasks the fault.
         s.on_evict(0, &arr);
@@ -901,7 +905,11 @@ mod tests {
             ReadOutcome::ErrorMiss { .. } => {}
             other => panic!("{other:?}"),
         }
-        assert_eq!(s.dfh(0), Dfh::Unknown, "b'00 -> b'01 on 1-bit error (Table 2 row 2)");
+        assert_eq!(
+            s.dfh(0),
+            Dfh::Unknown,
+            "b'00 -> b'01 on 1-bit error (Table 2 row 2)"
+        );
 
         // Refetch: the line retrains to b'10 and corrects from then on.
         s.on_fill(0, &unmasking);
@@ -918,7 +926,7 @@ mod tests {
     fn eviction_training_classifies_without_reads() {
         let mut s = scheme(vec![(2, vec![fault(7, false)])], config());
         let data = Line512::from_seed(3); // pseudo-random: bit 7 likely varies
-        // Line 0: clean; line 2: one fault.
+                                          // Line 0: clean; line 2: one fault.
         s.on_fill(0, &data);
         s.on_evict(0, &stored(&s, 0, &data));
         assert_eq!(s.dfh(0), Dfh::Stable0, "trained on eviction");
@@ -988,7 +996,13 @@ mod tests {
         assert!(s.victim_class(2) < s.victim_class(0));
         assert!(s.victim_class(0) < s.victim_class(1));
 
-        let s2 = scheme(vec![], KilliConfig { victim_priority: false, ..config() });
+        let s2 = scheme(
+            vec![],
+            KilliConfig {
+                victim_priority: false,
+                ..config()
+            },
+        );
         assert_eq!(s2.victim_class(0), Some(0));
         assert_eq!(s2.victim_class(1), Some(0));
     }
@@ -1045,7 +1059,11 @@ mod tests {
         masked.set_bit(10, true); // masked in the written polarity
         let fill = s.on_fill(0, &masked);
         assert!(fill.accepted);
-        assert_eq!(s.dfh(0), Dfh::Stable1, "inverted polarity exposed the fault");
+        assert_eq!(
+            s.dfh(0),
+            Dfh::Stable1,
+            "inverted polarity exposed the fault"
+        );
     }
 
     #[test]
@@ -1151,8 +1169,14 @@ mod tests {
         let mut b = stored(&s, 1, &data);
         s.on_read_hit(1, &mut b);
         let t = s.transitions();
-        assert_eq!(t[Dfh::Unknown.bits() as usize][Dfh::Stable0.bits() as usize], 1);
-        assert_eq!(t[Dfh::Unknown.bits() as usize][Dfh::Stable1.bits() as usize], 1);
+        assert_eq!(
+            t[Dfh::Unknown.bits() as usize][Dfh::Stable0.bits() as usize],
+            1
+        );
+        assert_eq!(
+            t[Dfh::Unknown.bits() as usize][Dfh::Stable1.bits() as usize],
+            1
+        );
         let census = s.dfh_census();
         assert_eq!(census[Dfh::Stable0.bits() as usize], 1);
         assert_eq!(census[Dfh::Stable1.bits() as usize], 1);

@@ -1,151 +1,342 @@
 //! Property-based tests for Killi's classification logic: the Table 2
 //! state machine must be total, safe and convergent for arbitrary fault
-//! populations.
+//! populations (killi-check harness).
 
 use std::sync::Arc;
 
 use killi::classify::{classify_stable0, classify_stable1, classify_unknown, Verdict};
 use killi::dfh::Dfh;
 use killi::scheme::{KilliConfig, KilliScheme};
+use killi_check::{check, check_cases, Gen};
 use killi_ecc::bits::Line512;
 use killi_ecc::parity::SegObservation;
 use killi_ecc::secded::secded;
 use killi_fault::map::{CellFault, FaultMap};
 use killi_sim::protection::{LineProtection, ReadOutcome};
-use proptest::prelude::*;
 
-fn arb_seg() -> impl Strategy<Value = SegObservation> {
-    prop_oneof![
-        Just(SegObservation::Match),
-        (0u8..16).prop_map(SegObservation::OneSegment),
-        (2u8..16).prop_map(SegObservation::MultiSegment),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn classification_is_total_and_never_enables_from_garbage(
-        seg in arb_seg(),
-        seed in any::<u64>(),
-        flips in proptest::collection::btree_set(0usize..512, 0..5),
-    ) {
-        // Arbitrary (even physically inconsistent) observables must yield
-        // a verdict without panicking, and a multi-segment mismatch must
-        // never leave the line enabled as fault-free.
-        let data = Line512::from_seed(seed);
-        let code = secded().encode(&data);
-        let mut corrupted = data;
-        for &b in &flips {
-            corrupted.flip_bit(b);
-        }
-        let ecc = secded().observe(&corrupted, code);
-        let dec = secded().interpret(ecc);
-        let v_unknown = classify_unknown(seg, ecc, dec);
-        let v_stable1 = classify_stable1(seg, ecc, dec);
-        let v_stable0 = classify_stable0(seg);
-        if let SegObservation::MultiSegment(_) = seg {
-            prop_assert_ne!(v_unknown.next_dfh(), Dfh::Stable0);
-            prop_assert_ne!(v_stable0.next_dfh(), Dfh::Stable0);
-        }
-        // From the unknown state, a clean SendClean verdict never lands on
-        // Disabled (disabling always signals an error miss).
-        if let Verdict::SendClean { next, .. } = v_unknown {
-            prop_assert_ne!(next, Dfh::Disabled);
-        }
-        let _ = v_stable1;
+fn gen_seg(g: &mut Gen) -> SegObservation {
+    match g.usize_in(0, 3) {
+        0 => SegObservation::Match,
+        1 => SegObservation::OneSegment(g.usize_in(0, 16) as u8),
+        _ => SegObservation::MultiSegment(g.usize_in(2, 16) as u8),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// An arbitrary fault set on one line: distinct cells with random stuck
+/// polarity. `universe` bounds the cell index (512 = data bits only,
+/// 516 = data + check cells).
+fn gen_faults(g: &mut Gen, universe: usize, max: usize) -> Vec<CellFault> {
+    g.distinct(universe, 0, max)
+        .into_iter()
+        .map(|cell| CellFault {
+            cell: cell as u16,
+            stuck: g.bool(),
+        })
+        .collect()
+}
 
-    #[test]
-    fn killi_converges_and_never_lies_for_arbitrary_single_line_faults(
-        cells in proptest::collection::btree_set(0u16..516, 0..6),
-        polarity in proptest::collection::vec(any::<bool>(), 6),
-        data_seeds in proptest::collection::vec(any::<u64>(), 1..6),
-    ) {
-        // One line with an arbitrary fault set, driven through repeated
-        // fill/read/evict cycles with varying data. Invariants:
-        //  - delivered data is either correct or the access is an error miss
-        //    (except the documented multi-fault-masked hazard, excluded by
-        //    construction here: we check only delivered == intended when
-        //    the verdict claims clean AND the true fault count is < 2).
-        //  - once disabled, the line is never allocated again.
-        let faults: Vec<CellFault> = cells
-            .iter()
-            .zip(polarity.iter())
-            .map(|(&cell, &stuck)| CellFault { cell, stuck })
-            .collect();
-        let data_fault_count = faults.iter().filter(|f| f.cell < 512).count();
-        let mut per_line = vec![Vec::new(); 16];
-        per_line[0] = faults;
-        let map = Arc::new(FaultMap::from_faults(per_line));
-        let mut killi = KilliScheme::new(
-            KilliConfig {
-                ecc_cache: killi::ecc_cache::EccCacheConfig { ratio: 4, ways: 4 },
-                ..KilliConfig::with_ratio(4)
-            },
-            Arc::clone(&map),
-            16,
-            4,
-        );
-        for &ds in &data_seeds {
-            if killi.dfh(0) == Dfh::Disabled {
-                prop_assert_eq!(killi.victim_class(0), None);
-                break;
+fn single_line_scheme(faults: Vec<CellFault>, config: KilliConfig) -> (KilliScheme, Arc<FaultMap>) {
+    let mut per_line = vec![Vec::new(); 16];
+    per_line[0] = faults;
+    let map = Arc::new(FaultMap::from_faults(per_line));
+    let scheme = KilliScheme::new(config, Arc::clone(&map), 16, 4);
+    (scheme, map)
+}
+
+fn small_config() -> KilliConfig {
+    KilliConfig {
+        ecc_cache: killi::ecc_cache::EccCacheConfig { ratio: 4, ways: 4 },
+        ..KilliConfig::with_ratio(4)
+    }
+}
+
+#[test]
+fn classification_is_total_and_never_enables_from_garbage() {
+    check(
+        "classification_is_total_and_never_enables_from_garbage",
+        |g| {
+            // Arbitrary (even physically inconsistent) observables must yield
+            // a verdict without panicking, and a multi-segment mismatch must
+            // never leave the line enabled as fault-free.
+            let seg = gen_seg(g);
+            let data = Line512::from_seed(g.u64());
+            let flips = g.distinct(512, 0, 4);
+            let code = secded().encode(&data);
+            let mut corrupted = data;
+            for &b in &flips {
+                corrupted.flip_bit(b);
             }
-            let data = Line512::from_seed(ds);
-            let fill = killi.on_fill(0, &data);
-            if !fill.accepted {
-                break;
+            let ecc = secded().observe(&corrupted, code);
+            let dec = secded().interpret(ecc);
+            let v_unknown = classify_unknown(seg, ecc, dec);
+            let v_stable1 = classify_stable1(seg, ecc, dec);
+            let v_stable0 = classify_stable0(seg);
+            if let SegObservation::MultiSegment(_) = seg {
+                assert_ne!(v_unknown.next_dfh(), Dfh::Stable0);
+                assert_ne!(v_stable0.next_dfh(), Dfh::Stable0);
             }
-            let mut stored = data;
-            map.corrupt_data(0, &mut stored);
-            match killi.on_read_hit(0, &mut stored) {
-                ReadOutcome::Clean { .. } => {
-                    if data_fault_count < 2 {
-                        prop_assert_eq!(stored, data, "corrupt data delivered as clean");
-                    }
+            // From the unknown state, a clean SendClean verdict never lands on
+            // Disabled (disabling always signals an error miss).
+            if let Verdict::SendClean { next, .. } = v_unknown {
+                assert_ne!(next, Dfh::Disabled);
+            }
+            let _ = v_stable1;
+        },
+    );
+}
+
+#[test]
+fn killi_converges_and_never_lies_for_arbitrary_single_line_faults() {
+    check_cases(
+        "killi_converges_and_never_lies_for_arbitrary_single_line_faults",
+        64,
+        |g| {
+            // One line with an arbitrary fault set, driven through repeated
+            // fill/read/evict cycles with varying data. Invariants:
+            //  - delivered data is either correct or the access is an error
+            //    miss (except the documented multi-fault-masked hazard,
+            //    excluded by construction here: we check only delivered ==
+            //    intended when the verdict claims clean AND the true fault
+            //    count is < 2).
+            //  - once disabled, the line is never allocated again.
+            let faults = gen_faults(g, 516, 5);
+            let data_fault_count = faults.iter().filter(|f| f.cell < 512).count();
+            let data_seeds = g.vec(1, 5, Gen::u64);
+            let (mut killi, map) = single_line_scheme(faults, small_config());
+            for &ds in &data_seeds {
+                if killi.dfh(0) == Dfh::Disabled {
+                    assert_eq!(killi.victim_class(0), None);
+                    break;
                 }
-                ReadOutcome::ErrorMiss { .. } => {}
+                let data = Line512::from_seed(ds);
+                let fill = killi.on_fill(0, &data);
+                if !fill.accepted {
+                    break;
+                }
+                let mut stored = data;
+                map.corrupt_data(0, &mut stored);
+                match killi.on_read_hit(0, &mut stored) {
+                    ReadOutcome::Clean { .. } => {
+                        if data_fault_count < 2 {
+                            assert_eq!(stored, data, "corrupt data delivered as clean");
+                        }
+                    }
+                    ReadOutcome::ErrorMiss { .. } => {}
+                }
+                let mut stored2 = data;
+                map.corrupt_data(0, &mut stored2);
+                killi.on_evict(0, &stored2);
             }
-            let mut stored2 = data;
-            map.corrupt_data(0, &mut stored2);
-            killi.on_evict(0, &stored2);
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn inverted_check_classification_is_exact(
-        cells in proptest::collection::btree_set(0u16..512, 0..6),
-        polarity in proptest::collection::vec(any::<bool>(), 6),
-        data_seed in any::<u64>(),
-    ) {
-        let faults: Vec<CellFault> = cells
-            .iter()
-            .zip(polarity.iter())
-            .map(|(&cell, &stuck)| CellFault { cell, stuck })
-            .collect();
+#[test]
+fn inverted_check_classification_is_exact() {
+    check_cases("inverted_check_classification_is_exact", 64, |g| {
+        let faults = gen_faults(g, 512, 5);
         let n = faults.len();
-        let mut per_line = vec![Vec::new(); 16];
-        per_line[0] = faults;
-        let map = Arc::new(FaultMap::from_faults(per_line));
-        let mut config = KilliConfig {
-            ecc_cache: killi::ecc_cache::EccCacheConfig { ratio: 4, ways: 4 },
-            ..KilliConfig::with_ratio(4)
-        };
+        let data = Line512::from_seed(g.u64());
+        let mut config = small_config();
         config.inverted_write_check = true;
-        let mut killi = KilliScheme::new(config, Arc::clone(&map), 16, 4);
-        let data = Line512::from_seed(data_seed);
+        let (mut killi, _map) = single_line_scheme(faults, config);
         let fill = killi.on_fill(0, &data);
         let expected = match n {
             0 => Dfh::Stable0,
             1 => Dfh::Stable1,
             _ => Dfh::Disabled,
         };
-        prop_assert_eq!(killi.dfh(0), expected);
-        prop_assert_eq!(fill.accepted, n < 2);
+        assert_eq!(killi.dfh(0), expected);
+        assert_eq!(fill.accepted, n < 2);
+    });
+}
+
+/// DFH state-machine properties (Table 2): under training sequences whose
+/// written data never masks a stuck-at fault, classification is exact and
+/// transitions only ever move forward — `01 -> {00, 10, 11}` and
+/// `10 -> 11`; never backwards. (Masked faults are the documented
+/// exception: a masking read can legitimately send `10 -> 00`, which is
+/// why this suite constructs unmasked data explicitly.)
+mod dfh_state_machine {
+    use super::*;
+
+    /// Data that exposes every data-cell fault: each faulty cell is
+    /// written with the opposite of its stuck value.
+    fn unmasking_data(g: &mut Gen, faults: &[CellFault]) -> Line512 {
+        let mut data = Line512::from_seed(g.u64());
+        for f in faults {
+            if usize::from(f.cell) < 512 {
+                data.set_bit(usize::from(f.cell), !f.stuck);
+            }
+        }
+        data
+    }
+
+    /// Transition pairs `(from_bits, to_bits)` the Table 2 machine may
+    /// take during unmasked training. `Dfh::bits`: 00 = Stable0,
+    /// 01 = Unknown, 10 = Stable1, 11 = Disabled.
+    const ALLOWED: [(u8, u8); 4] = [(0b01, 0b00), (0b01, 0b10), (0b01, 0b11), (0b10, 0b11)];
+
+    #[test]
+    fn transitions_never_move_backwards_under_unmasked_training() {
+        check(
+            "transitions_never_move_backwards_under_unmasked_training",
+            |g| {
+                let faults = gen_faults(g, 512, 4);
+                let rounds = g.usize_in(1, 8);
+                let (mut killi, map) = single_line_scheme(faults.clone(), small_config());
+                for _ in 0..rounds {
+                    if killi.dfh(0) == Dfh::Disabled {
+                        break;
+                    }
+                    let data = unmasking_data(g, &faults);
+                    if !killi.on_fill(0, &data).accepted {
+                        break;
+                    }
+                    let mut stored = data;
+                    map.corrupt_data(0, &mut stored);
+                    let _ = killi.on_read_hit(0, &mut stored);
+                    let mut stored2 = data;
+                    map.corrupt_data(0, &mut stored2);
+                    killi.on_evict(0, &stored2);
+                }
+                let t = killi.transitions();
+                for from in 0..4u8 {
+                    for to in 0..4u8 {
+                        if t[from as usize][to as usize] > 0 {
+                            assert!(
+                                ALLOWED.contains(&(from, to)),
+                                "illegal DFH transition {from:02b} -> {to:02b} \
+                             ({} times) with faults {faults:?}",
+                                t[from as usize][to as usize],
+                            );
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    /// Faults in *distinct* seg16 residue classes: segmented parity then
+    /// sees every fault, so classification is exact (no >= 3-error SECDED
+    /// alias can hide inside one segment).
+    fn gen_faults_distinct_segments(g: &mut Gen, max: usize) -> Vec<CellFault> {
+        g.distinct(16, 0, max)
+            .into_iter()
+            .map(|class| CellFault {
+                cell: (class + 16 * g.usize_in(0, 32)) as u16,
+                stuck: g.bool(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unmasked_training_classifies_exactly_after_one_read() {
+        check("unmasked_training_classifies_exactly_after_one_read", |g| {
+            let faults = gen_faults_distinct_segments(g, 4);
+            let n = faults.len();
+            let (mut killi, map) = single_line_scheme(faults.clone(), small_config());
+            let data = unmasking_data(g, &faults);
+            let fill = killi.on_fill(0, &data);
+            assert!(fill.accepted, "b'01 lines accept fills during training");
+            let mut stored = data;
+            map.corrupt_data(0, &mut stored);
+            let _ = killi.on_read_hit(0, &mut stored);
+            let expected = match n {
+                0 => Dfh::Stable0,
+                1 => Dfh::Stable1,
+                _ => Dfh::Disabled,
+            };
+            assert_eq!(
+                killi.dfh(0),
+                expected,
+                "{n} unmasked segment-distinct faults must classify exactly"
+            );
+        });
+    }
+
+    #[test]
+    fn unmasked_faulty_lines_are_never_enabled_as_fault_free() {
+        check(
+            "unmasked_faulty_lines_are_never_enabled_as_fault_free",
+            |g| {
+                // Even when SECDED aliasing mis-ranks a >= 3-fault line as
+                // b'10 (the paper's own coverage is < 100 % there), a line
+                // with any unmasked fault must never classify b'00.
+                let faults = gen_faults(g, 512, 4);
+                if faults.is_empty() {
+                    return;
+                }
+                let (mut killi, map) = single_line_scheme(faults.clone(), small_config());
+                let data = unmasking_data(g, &faults);
+                killi.on_fill(0, &data);
+                let mut stored = data;
+                map.corrupt_data(0, &mut stored);
+                let _ = killi.on_read_hit(0, &mut stored);
+                assert_ne!(
+                    killi.dfh(0),
+                    Dfh::Stable0,
+                    "{} unmasked faults enabled as fault-free",
+                    faults.len()
+                );
+            },
+        );
+    }
+
+    #[test]
+    fn classified_states_are_stable_under_further_unmasked_use() {
+        check(
+            "classified_states_are_stable_under_further_unmasked_use",
+            |g| {
+                // After exact classification, further unmasked traffic must not
+                // move a b'00 or b'10 line anywhere (same physical faults keep
+                // producing the same observables).
+                let faults = gen_faults(g, 512, 1);
+                let (mut killi, map) = single_line_scheme(faults.clone(), small_config());
+                let data = unmasking_data(g, &faults);
+                killi.on_fill(0, &data);
+                let mut stored = data;
+                map.corrupt_data(0, &mut stored);
+                let _ = killi.on_read_hit(0, &mut stored);
+                let settled = killi.dfh(0);
+                assert_ne!(settled, Dfh::Unknown, "<= 1 fault classifies in one read");
+                for _ in 0..4 {
+                    let data = unmasking_data(g, &faults);
+                    killi.on_fill(0, &data);
+                    let mut stored = data;
+                    map.corrupt_data(0, &mut stored);
+                    let _ = killi.on_read_hit(0, &mut stored);
+                    assert_eq!(killi.dfh(0), settled, "classified state moved");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn disabled_is_absorbing_without_scrub() {
+        check("disabled_is_absorbing_without_scrub", |g| {
+            // >= 2 unmasked segment-distinct faults disable the line;
+            // afterwards it refuses allocation and stays disabled no
+            // matter the traffic.
+            let faults = gen_faults_distinct_segments(g, 4);
+            if faults.len() < 2 {
+                return; // property only concerns multi-fault lines
+            }
+            let (mut killi, map) = single_line_scheme(faults.clone(), small_config());
+            let data = unmasking_data(g, &faults);
+            killi.on_fill(0, &data);
+            let mut stored = data;
+            map.corrupt_data(0, &mut stored);
+            let _ = killi.on_read_hit(0, &mut stored);
+            assert_eq!(killi.dfh(0), Dfh::Disabled);
+            for _ in 0..4 {
+                let data = Line512::from_seed(g.u64());
+                let fill = killi.on_fill(0, &data);
+                assert!(!fill.accepted, "disabled lines must reject fills");
+                assert_eq!(killi.victim_class(0), None);
+                assert_eq!(killi.dfh(0), Dfh::Disabled);
+            }
+        });
     }
 }
 
@@ -189,7 +380,10 @@ mod write_back {
     fn dirty_single_fault_line_survives_under_5_6_1() {
         // A store-dirtied line whose physical slot has one stuck-at fault:
         // the escalated SECDED protection corrects reads in place.
-        let fault = CellFault { cell: 10, stuck: true };
+        let fault = CellFault {
+            cell: 10,
+            stuck: true,
+        };
         let (mut l2, mut mem, _) = wb_setup(vec![(0, vec![fault])], true);
         let addr = addr_of_set(0);
         l2.access_store(addr, 0, &mut mem);
@@ -208,7 +402,10 @@ mod write_back {
         // interesting contrast is the correction: 1-fault dirty lines are
         // corrected in place with 5.6.1 but lost once classified b'00
         // without it (parity detects, nothing can correct).
-        let fault = CellFault { cell: 10, stuck: true };
+        let fault = CellFault {
+            cell: 10,
+            stuck: true,
+        };
         let (mut l2, mut mem, _) = wb_setup(vec![(0, vec![fault])], false);
         let addr = addr_of_set(0);
         // Train the line to b'00 with a masking read first: write data
@@ -216,7 +413,7 @@ mod write_back {
         // (Simplest deterministic route: loads classify the line.)
         l2.access_load(addr, 0, &mut mem);
         let _ = l2.access_load(addr, 50, &mut mem); // classify via hit
-        // Now dirty it; plain Killi stores it with 4-bit parity only.
+                                                    // Now dirty it; plain Killi stores it with 4-bit parity only.
         l2.access_store(addr, 100, &mut mem);
         let _ = l2.access_load(addr, 200, &mut mem);
         // Depending on masking, either the read was clean or the data was
@@ -227,7 +424,10 @@ mod write_back {
     #[test]
     fn dirty_two_fault_line_survives_with_dected_escalation() {
         // b'10 classification first, then dirty data under DEC-TED.
-        let faults = vec![CellFault { cell: 10, stuck: true }];
+        let faults = vec![CellFault {
+            cell: 10,
+            stuck: true,
+        }];
         let (mut l2, mut mem, _) = wb_setup(vec![(0, faults)], true);
         let addr = addr_of_set(0);
         // Classify to b'10 via a load (fault unmasked with random data).
@@ -306,8 +506,14 @@ mod scrubber {
     #[test]
     fn scrub_does_not_resurrect_persistent_faults_for_long() {
         let faults = vec![
-            CellFault { cell: 3, stuck: true },
-            CellFault { cell: 40, stuck: true },
+            CellFault {
+                cell: 3,
+                stuck: true,
+            },
+            CellFault {
+                cell: 40,
+                stuck: true,
+            },
         ];
         let mut per_line = vec![Vec::new(); 16];
         per_line[0] = faults;

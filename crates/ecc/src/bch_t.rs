@@ -310,7 +310,8 @@ impl BchT {
         }
         let bits = found
             .into_iter()
-            .filter(|&d| d >= self.deg).map(|d| d - self.deg)
+            .filter(|&d| d >= self.deg)
+            .map(|d| d - self.deg)
             .collect();
         BchDecode::Corrected { bits }
     }

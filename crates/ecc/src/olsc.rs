@@ -21,9 +21,9 @@ pub type OlscBlock = [u64; DATA_WORDS];
 /// mutually orthogonal Latin squares.
 fn gf_mul_small(m: usize, a: usize, b: usize) -> usize {
     let poly = match m {
-        4 => 0b111,        // x^2 + x + 1
-        8 => 0b1011,       // x^3 + x + 1
-        16 => 0b10011,     // x^4 + x + 1
+        4 => 0b111,    // x^2 + x + 1
+        8 => 0b1011,   // x^3 + x + 1
+        16 => 0b10011, // x^4 + x + 1
         _ => unreachable!(),
     };
     let bits = m.trailing_zeros() as usize;
@@ -87,10 +87,7 @@ impl Olsc {
             matches!(m, 4 | 8 | 16),
             "OLSC block width {m} unsupported (use 4, 8 or 16)"
         );
-        assert!(
-            t >= 1 && 2 * t <= m + 1,
-            "t = {t} out of range for m = {m}"
-        );
+        assert!(t >= 1 && 2 * t <= m + 1, "t = {t} out of range for m = {m}");
         let k = m * m;
         let groups = 2 * t;
         let mut class_of = vec![vec![0u16; k]; groups];
@@ -99,9 +96,9 @@ impl Olsc {
                 for j in 0..m {
                     let cell = i * m + j;
                     table[cell] = match g {
-                        0 => i as u16,                                // rows
-                        1 => j as u16,                                // columns
-                        _ => (gf_mul_small(m, g - 1, i) ^ j) as u16,  // L_{g-1}
+                        0 => i as u16,                               // rows
+                        1 => j as u16,                               // columns
+                        _ => (gf_mul_small(m, g - 1, i) ^ j) as u16, // L_{g-1}
                     };
                 }
             }

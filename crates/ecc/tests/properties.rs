@@ -1,111 +1,114 @@
-//! Property-based tests for the error-coding substrate.
+//! Property-based tests for the error-coding substrate (killi-check
+//! harness).
 
+use killi_check::{check, check_cases, Gen};
 use killi_ecc::bch::{dected, DectedDecode};
 use killi_ecc::bits::{Line512, LINE_BITS};
 use killi_ecc::olsc::{OlscDecode, OlscLine};
 use killi_ecc::parity::{seg16, seg4, SegObservation};
 use killi_ecc::secded::{secded, SecdedDecode};
-use proptest::prelude::*;
 
-fn arb_line() -> impl Strategy<Value = Line512> {
-    any::<u64>().prop_map(Line512::from_seed)
+fn gen_line(g: &mut Gen) -> Line512 {
+    Line512::from_seed(g.u64())
 }
 
-proptest! {
-    #[test]
-    fn secded_corrects_any_single_bit(seed in any::<u64>(), bit in 0usize..LINE_BITS) {
-        let data = Line512::from_seed(seed);
+#[test]
+fn secded_corrects_any_single_bit() {
+    check("secded_corrects_any_single_bit", |g| {
+        let data = gen_line(g);
+        let bit = g.usize_in(0, LINE_BITS);
         let code = secded().encode(&data);
         let mut corrupted = data;
         corrupted.flip_bit(bit);
         let d = secded().decode(&corrupted, code);
-        prop_assert_eq!(d, SecdedDecode::CorrectedData { bit });
+        assert_eq!(d, SecdedDecode::CorrectedData { bit });
         let mut fixed = corrupted;
-        prop_assert!(secded().apply(&mut fixed, d));
-        prop_assert_eq!(fixed, data);
-    }
+        assert!(secded().apply(&mut fixed, d));
+        assert_eq!(fixed, data);
+    });
+}
 
-    #[test]
-    fn secded_detects_any_double_bit(
-        seed in any::<u64>(),
-        a in 0usize..LINE_BITS,
-        b in 0usize..LINE_BITS,
-    ) {
-        prop_assume!(a != b);
-        let data = Line512::from_seed(seed);
+#[test]
+fn secded_detects_any_double_bit() {
+    check("secded_detects_any_double_bit", |g| {
+        let data = gen_line(g);
+        let bits: Vec<usize> = g.distinct(LINE_BITS, 2, 2).into_iter().collect();
         let code = secded().encode(&data);
         let mut corrupted = data;
-        corrupted.flip_bit(a);
-        corrupted.flip_bit(b);
-        prop_assert_eq!(
+        corrupted.flip_bit(bits[0]);
+        corrupted.flip_bit(bits[1]);
+        assert_eq!(
             secded().decode(&corrupted, code),
             SecdedDecode::DetectedDouble
         );
-    }
+    });
+}
 
-    #[test]
-    fn dected_corrects_any_double_bit(
-        seed in any::<u64>(),
-        a in 0usize..LINE_BITS,
-        b in 0usize..LINE_BITS,
-    ) {
-        prop_assume!(a != b);
-        let data = Line512::from_seed(seed);
+#[test]
+fn dected_corrects_any_double_bit() {
+    check("dected_corrects_any_double_bit", |g| {
+        let data = gen_line(g);
+        let bits: Vec<usize> = g.distinct(LINE_BITS, 2, 2).into_iter().collect();
         let code = dected().encode(&data);
         let mut corrupted = data;
-        corrupted.flip_bit(a);
-        corrupted.flip_bit(b);
+        corrupted.flip_bit(bits[0]);
+        corrupted.flip_bit(bits[1]);
         let d = dected().decode(&corrupted, code);
         let mut fixed = corrupted;
-        prop_assert!(dected().apply(&mut fixed, d), "{:?}", d);
-        prop_assert_eq!(fixed, data);
-    }
+        assert!(dected().apply(&mut fixed, d), "{d:?}");
+        assert_eq!(fixed, data);
+    });
+}
 
-    #[test]
-    fn dected_never_reports_triple_as_clean(
-        seed in any::<u64>(),
-        mut bits in proptest::collection::btree_set(0usize..LINE_BITS, 3),
-    ) {
-        let data = Line512::from_seed(seed);
+#[test]
+fn dected_never_reports_triple_as_clean() {
+    check("dected_never_reports_triple_as_clean", |g| {
+        let data = gen_line(g);
+        let bits = g.distinct(LINE_BITS, 3, 3);
         let code = dected().encode(&data);
         let mut corrupted = data;
-        for &b in bits.iter() {
+        for &b in &bits {
             corrupted.flip_bit(b);
         }
-        bits.clear();
-        prop_assert_ne!(dected().decode(&corrupted, code), DectedDecode::Clean);
-    }
+        assert_ne!(dected().decode(&corrupted, code), DectedDecode::Clean);
+    });
+}
 
-    #[test]
-    fn seg16_flags_every_single_flip(seed in any::<u64>(), bit in 0usize..LINE_BITS) {
-        let data = Line512::from_seed(seed);
+#[test]
+fn seg16_flags_every_single_flip() {
+    check("seg16_flags_every_single_flip", |g| {
+        let data = gen_line(g);
+        let bit = g.usize_in(0, LINE_BITS);
         let stored = seg16(&data);
         let mut corrupted = data;
         corrupted.flip_bit(bit);
-        prop_assert_eq!(
+        assert_eq!(
             SegObservation::observe16(stored, seg16(&corrupted)),
             SegObservation::OneSegment((bit % 16) as u8)
         );
-    }
+    });
+}
 
-    #[test]
-    fn seg4_flags_every_single_flip(seed in any::<u64>(), bit in 0usize..LINE_BITS) {
-        let data = Line512::from_seed(seed);
+#[test]
+fn seg4_flags_every_single_flip() {
+    check("seg4_flags_every_single_flip", |g| {
+        let data = gen_line(g);
+        let bit = g.usize_in(0, LINE_BITS);
         let stored = seg4(&data);
         let mut corrupted = data;
         corrupted.flip_bit(bit);
-        prop_assert_eq!(
+        assert_eq!(
             SegObservation::observe4(stored, seg4(&corrupted)),
             SegObservation::OneSegment((bit % 4) as u8)
         );
-    }
+    });
+}
 
-    #[test]
-    fn parity_mismatch_count_equals_odd_residue_classes(
-        seed in any::<u64>(),
-        bits in proptest::collection::btree_set(0usize..LINE_BITS, 0..8),
-    ) {
-        let data = Line512::from_seed(seed);
+#[test]
+fn parity_mismatch_count_equals_odd_residue_classes() {
+    check("parity_mismatch_count_equals_odd_residue_classes", |g| {
+        let data = gen_line(g);
+        let bits = g.distinct(LINE_BITS, 0, 7);
         let stored = seg16(&data);
         let mut corrupted = data;
         let mut per_class = [0usize; 16];
@@ -115,60 +118,62 @@ proptest! {
         }
         let odd_classes = per_class.iter().filter(|&&n| n % 2 == 1).count();
         let diff = (stored ^ seg16(&corrupted)).count_ones() as usize;
-        prop_assert_eq!(diff, odd_classes);
-    }
+        assert_eq!(diff, odd_classes);
+    });
+}
 
-    #[test]
-    fn olsc_corrects_up_to_t_spread_errors(
-        seed in any::<u64>(),
-        blocks in proptest::collection::vec(0usize..64, 1..8),
-    ) {
-        // At most t=2 errors per 64-bit block: pick distinct blocks, flip
-        // up to two bits in each.
+#[test]
+fn olsc_corrects_up_to_t_spread_errors() {
+    check("olsc_corrects_up_to_t_spread_errors", |g| {
+        // At most t=2 errors per 64-bit block: distinct blocks, one flip
+        // in each.
         let codec = OlscLine::new(8, 2);
-        let data = Line512::from_seed(seed);
+        let data = gen_line(g);
+        let offsets = g.vec(1, 7, |g| g.usize_in(0, 64));
         let check = codec.encode(&data);
         let mut corrupted = data;
-        for (i, &off) in blocks.iter().enumerate().take(8) {
+        for (i, &off) in offsets.iter().enumerate().take(8) {
             let block = i % 8;
             corrupted.flip_bit(block * 64 + off);
         }
         let mut fixed = corrupted;
         let d = codec.decode(&mut fixed, &check);
-        prop_assert!(!matches!(d, OlscDecode::Detected), "{:?}", d);
-        prop_assert_eq!(fixed, data);
-    }
+        assert!(!matches!(d, OlscDecode::Detected), "{d:?}");
+        assert_eq!(fixed, data);
+    });
+}
 
-    #[test]
-    fn line_xor_roundtrip(a in arb_line(), b in arb_line()) {
-        prop_assert_eq!((a ^ b) ^ b, a);
-    }
+#[test]
+fn line_xor_roundtrip() {
+    check("line_xor_roundtrip", |g| {
+        let a = gen_line(g);
+        let b = gen_line(g);
+        assert_eq!((a ^ b) ^ b, a);
+    });
+}
 
-    #[test]
-    fn inversion_preserves_segment_parity_of_even_segments(l in arb_line()) {
+#[test]
+fn inversion_preserves_segment_parity_of_even_segments() {
+    check("inversion_preserves_segment_parity_of_even_segments", |g| {
         // Every interleaved segment has an even bit count, so inversion
         // never changes segment parity — the §5.6.2 analysis relies on it.
-        prop_assert_eq!(seg16(&l), seg16(&l.inverted()));
-        prop_assert_eq!(seg4(&l), seg4(&l.inverted()));
-    }
+        let l = gen_line(g);
+        assert_eq!(seg16(&l), seg16(&l.inverted()));
+        assert_eq!(seg4(&l), seg4(&l.inverted()));
+    });
 }
 
 mod bch_t_props {
     use super::*;
     use killi_ecc::bch_t::{bch_t, BchDecode};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn bch_corrects_any_pattern_up_to_t(
-            seed in any::<u64>(),
-            t in 2usize..=6,
-            bits in proptest::collection::btree_set(0usize..LINE_BITS, 1..6),
-        ) {
-            prop_assume!(bits.len() <= t);
+    #[test]
+    fn bch_corrects_any_pattern_up_to_t() {
+        check_cases("bch_corrects_any_pattern_up_to_t", 48, |g| {
+            let t = g.usize_in(2, 7);
+            let bits = g.distinct(LINE_BITS, 1, t.min(5));
             let codec = bch_t(t);
-            let data = Line512::from_seed(seed);
+            let data = gen_line(g);
             let code = codec.encode(&data);
             let mut corrupted = data;
             for &b in &bits {
@@ -176,18 +181,18 @@ mod bch_t_props {
             }
             let d = codec.decode(&corrupted, code);
             let mut fixed = corrupted;
-            prop_assert!(codec.apply(&mut fixed, &d), "{:?}", d);
-            prop_assert_eq!(fixed, data);
-        }
+            assert!(codec.apply(&mut fixed, &d), "{d:?}");
+            assert_eq!(fixed, data);
+        });
+    }
 
-        #[test]
-        fn bch_never_reports_t_plus_one_clean(
-            seed in any::<u64>(),
-            t in 2usize..=4,
-            extra in 0usize..LINE_BITS,
-        ) {
+    #[test]
+    fn bch_never_reports_t_plus_one_clean() {
+        check_cases("bch_never_reports_t_plus_one_clean", 48, |g| {
+            let t = g.usize_in(2, 5);
+            let extra = g.usize_in(0, LINE_BITS);
             let codec = bch_t(t);
-            let data = Line512::from_seed(seed);
+            let data = gen_line(g);
             let code = codec.encode(&data);
             let mut corrupted = data;
             let mut flipped = std::collections::BTreeSet::new();
@@ -199,7 +204,7 @@ mod bch_t_props {
                     corrupted.flip_bit(b);
                 }
             }
-            prop_assert_ne!(codec.decode(&corrupted, code), BchDecode::Clean);
-        }
+            assert_ne!(codec.decode(&corrupted, code), BchDecode::Clean);
+        });
     }
 }

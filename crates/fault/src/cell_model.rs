@@ -204,7 +204,8 @@ fn integrate_normal<F: Fn(f64) -> f64>(f: F) -> f64 {
     let mut total = 0.0;
     for i in 0..N {
         let z = -5.0 + 10.0 * i as f64 / (N - 1) as f64;
-        let w = (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt() * (10.0 / (N - 1) as f64);
+        let w =
+            (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt() * (10.0 / (N - 1) as f64);
         total += w * f(z);
     }
     total

@@ -75,9 +75,7 @@ impl LineFaultDistribution {
         cells: u64,
         correctable: u64,
     ) -> f64 {
-        model.mix(vdd, freq, |p| {
-            1.0 - binom_sf(cells, correctable + 1, p)
-        })
+        model.mix(vdd, freq, |p| 1.0 - binom_sf(cells, correctable + 1, p))
     }
 
     /// Mixture-averaged fraction of lines with at least one fault (the

@@ -104,6 +104,23 @@ impl FaultMap {
         }
     }
 
+    /// Builds the fault map for one Monte-Carlo replicate: the die seed
+    /// is derived from `(root_seed, "die", replicate)` via
+    /// [`crate::rng::derive_seed`]. The same replicate therefore sees the
+    /// same physical die at every voltage of a sweep grid, preserving the
+    /// monotone nesting of fault populations across operating points.
+    pub fn build_replicate(
+        lines: usize,
+        model: &CellFailureModel,
+        vdd: NormVdd,
+        freq: FreqGhz,
+        root_seed: u64,
+        replicate: u64,
+    ) -> Self {
+        let die_seed = crate::rng::derive_seed(root_seed, "die", &[replicate]);
+        Self::build(lines, model, vdd, freq, die_seed)
+    }
+
     /// A map with an explicit fault population (targeted fault-injection
     /// tests and ablations).
     pub fn from_faults(faults: Vec<Vec<CellFault>>) -> Self {
@@ -364,6 +381,28 @@ mod tests {
     }
 
     #[test]
+    fn replicate_maps_are_deterministic_and_nested_across_voltage() {
+        let a = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 3);
+        let b = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 3);
+        let other = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 4);
+        for l in 0..64 {
+            assert_eq!(a.line(l), b.line(l));
+        }
+        assert!(
+            (0..64).any(|l| a.line(l) != other.line(l)),
+            "distinct replicates must draw distinct dies"
+        );
+        // Same replicate across the voltage grid = same die: monotone
+        // nesting must hold exactly as for a shared raw seed.
+        let lo = FaultMap::build_replicate(64, &model(), NormVdd(0.55), FreqGhz::PEAK, 42, 3);
+        for l in 0..64 {
+            for f in a.line(l) {
+                assert!(lo.line(l).contains(f));
+            }
+        }
+    }
+
+    #[test]
     fn frequency_monotone_inclusion() {
         let slow = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz(0.4), 42);
         let fast = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz(1.0), 42);
@@ -413,12 +452,7 @@ mod tests {
         let line = (0..2048)
             .find(|&l| m.data_fault_count(l) == 1)
             .expect("a single-fault line");
-        let f = m
-            .line(line)
-            .iter()
-            .find(|f| f.cell < 512)
-            .copied()
-            .unwrap();
+        let f = m.line(line).iter().find(|f| f.cell < 512).copied().unwrap();
         let mut data = Line512::zero();
         data.set_bit(f.cell as usize, f.stuck); // matches stuck polarity
         let original = data;

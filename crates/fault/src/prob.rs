@@ -10,7 +10,7 @@ const LANCZOS_G: f64 = 7.0;
 const LANCZOS: [f64; 9] = [
     0.999_999_999_999_809_9,
     676.520_368_121_885_1,
-    -1259.139_216_722_402_8,
+    -1_259.139_216_722_402_8,
     771.323_428_777_653_1,
     -176.615_029_162_140_6,
     12.507_343_278_686_905,
@@ -67,7 +67,10 @@ pub fn binom_pmf(n: u64, k: u64, p: f64) -> f64 {
 
 /// P[X <= k] for X ~ Binomial(n, p).
 pub fn binom_cdf(n: u64, k: u64, p: f64) -> f64 {
-    (0..=k.min(n)).map(|i| binom_pmf(n, i, p)).sum::<f64>().min(1.0)
+    (0..=k.min(n))
+        .map(|i| binom_pmf(n, i, p))
+        .sum::<f64>()
+        .min(1.0)
 }
 
 /// P[X >= k] for X ~ Binomial(n, p), summed from the small tail for
@@ -117,7 +120,13 @@ mod tests {
 
     #[test]
     fn ln_gamma_matches_factorials() {
-        for (n, fact) in [(1u64, 1f64), (2, 1.0), (3, 2.0), (5, 24.0), (11, 3_628_800.0)] {
+        for (n, fact) in [
+            (1u64, 1f64),
+            (2, 1.0),
+            (3, 2.0),
+            (5, 24.0),
+            (11, 3_628_800.0),
+        ] {
             let got = ln_gamma(n as f64);
             assert!(
                 (got - fact.ln()).abs() < 1e-9,
@@ -170,5 +179,4 @@ mod tests {
         assert_eq!(binom_sf(10, 0, 0.5), 1.0);
         assert_eq!(binom_sf(10, 11, 0.5), 0.0);
     }
-
 }

@@ -1,58 +1,68 @@
-//! Property-based tests for the fault model.
+//! Property-based tests for the fault model (killi-check harness).
 
+use killi_check::check;
 use killi_fault::cell_model::{CellFailureModel, FailureKind, FreqGhz, NormVdd};
 use killi_fault::map::FaultMap;
 use killi_fault::prob::{binom_cdf, binom_pmf, binom_sf};
 use killi_fault::rng::{hash3, to_unit};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn voltage_monotonicity_holds_for_any_pair(
-        seed in any::<u64>(),
-        v_lo in 0.50f64..0.64,
-        dv in 0.005f64..0.1,
-    ) {
-        let v_hi = (v_lo + dv).min(0.7);
+#[test]
+fn voltage_monotonicity_holds_for_any_pair() {
+    check("voltage_monotonicity_holds_for_any_pair", |g| {
+        let seed = g.u64();
+        let v_lo = g.f64_in(0.50, 0.64);
+        let v_hi = (v_lo + g.f64_in(0.005, 0.1)).min(0.7);
         let model = CellFailureModel::finfet14();
         let hi = FaultMap::build(64, &model, NormVdd(v_hi), FreqGhz::PEAK, seed);
         let lo = FaultMap::build(64, &model, NormVdd(v_lo), FreqGhz::PEAK, seed);
         for l in 0..64 {
             for f in hi.line(l) {
-                prop_assert!(lo.line(l).contains(f));
+                assert!(lo.line(l).contains(f));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn p_cell_monotone_in_voltage(v in 0.45f64..0.95, dv in 0.001f64..0.2) {
+#[test]
+fn p_cell_monotone_in_voltage() {
+    check("p_cell_monotone_in_voltage", |g| {
+        let v = g.f64_in(0.45, 0.95);
+        let dv = g.f64_in(0.001, 0.2);
         let m = CellFailureModel::finfet14();
         let p_lo = m.p_cell_median(NormVdd(v), FreqGhz::PEAK, FailureKind::Combined);
         let p_hi = m.p_cell_median(NormVdd(v + dv), FreqGhz::PEAK, FailureKind::Combined);
-        prop_assert!(p_hi <= p_lo);
-    }
+        assert!(p_hi <= p_lo);
+    });
+}
 
-    #[test]
-    fn binom_identities(n in 1u64..600, k in 0u64..600, p in 0.0f64..1.0) {
-        prop_assume!(k <= n);
+#[test]
+fn binom_identities() {
+    check("binom_identities", |g| {
+        let n = 1 + g.u64_below(599);
+        let k = g.u64_below(n + 1);
+        let p = g.unit();
         let pmf = binom_pmf(n, k, p);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&pmf));
+        assert!((0.0..=1.0 + 1e-9).contains(&pmf));
         if k > 0 {
             let total = binom_cdf(n, k - 1, p) + binom_sf(n, k, p);
-            prop_assert!((total - 1.0).abs() < 1e-6, "total = {}", total);
+            assert!((total - 1.0).abs() < 1e-6, "total = {total}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn counter_rng_uniform_bits(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
-        let u = to_unit(hash3(seed, a, b));
-        prop_assert!((0.0..1.0).contains(&u));
-    }
+#[test]
+fn counter_rng_uniform_bits() {
+    check("counter_rng_uniform_bits", |g| {
+        let u = to_unit(hash3(g.u64(), g.u64(), g.u64()));
+        assert!((0.0..1.0).contains(&u));
+    });
+}
 
-    #[test]
-    fn corruption_is_idempotent(seed in any::<u64>(), data_seed in any::<u64>()) {
+#[test]
+fn corruption_is_idempotent() {
+    check("corruption_is_idempotent", |g| {
+        let seed = g.u64();
+        let data_seed = g.u64();
         let model = CellFailureModel::finfet14();
         let map = FaultMap::build(32, &model, NormVdd(0.55), FreqGhz::PEAK, seed);
         for l in 0..32 {
@@ -60,17 +70,20 @@ proptest! {
             map.corrupt_data(l, &mut once);
             let mut twice = once;
             map.corrupt_data(l, &mut twice);
-            prop_assert_eq!(once, twice);
+            assert_eq!(once, twice);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mix_is_a_probability_average(v in 0.5f64..0.7) {
+#[test]
+fn mix_is_a_probability_average() {
+    check("mix_is_a_probability_average", |g| {
+        let v = g.f64_in(0.5, 0.7);
         let m = CellFailureModel::finfet14();
         let avg = m.mix(NormVdd(v), FreqGhz::PEAK, |p| p);
-        prop_assert!((0.0..=0.5).contains(&avg));
+        assert!((0.0..=0.5).contains(&avg));
         // Averaging a constant returns (nearly) the constant.
         let c = m.mix(NormVdd(v), FreqGhz::PEAK, |_| 0.25);
-        prop_assert!((c - 0.25).abs() < 1e-6);
-    }
+        assert!((c - 0.25).abs() < 1e-6);
+    });
 }

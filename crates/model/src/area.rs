@@ -159,9 +159,17 @@ mod tests {
         let secded = model.per_line_bits(checkbits::SECDED);
         assert!((model.ratio_to_secded(secded) - 1.0).abs() < 1e-12);
         let dected = model.per_line_bits(checkbits::DECTED);
-        assert!((model.ratio_to_secded(dected) - 1.83).abs() < 0.08, "paper: 1.9");
-        for (ratio, paper) in [(256usize, 0.51), (128, 0.52), (64, 0.55), (32, 0.60), (16, 0.71)]
-        {
+        assert!(
+            (model.ratio_to_secded(dected) - 1.83).abs() < 0.08,
+            "paper: 1.9"
+        );
+        for (ratio, paper) in [
+            (256usize, 0.51),
+            (128, 0.52),
+            (64, 0.55),
+            (32, 0.60),
+            (16, 0.71),
+        ] {
             let killi = model.killi_bits(ratio, checkbits::SECDED);
             let r = model.ratio_to_secded(killi);
             assert!((r - paper).abs() < 0.02, "1:{ratio}: {r} vs paper {paper}");
@@ -171,8 +179,12 @@ mod tests {
     #[test]
     fn table5_percent_over_l2() {
         let model = m();
-        assert!((model.fraction_of_l2(model.per_line_bits(checkbits::SECDED)) - 0.023).abs() < 0.001);
-        assert!((model.fraction_of_l2(model.per_line_bits(checkbits::DECTED)) - 0.043).abs() < 0.001);
+        assert!(
+            (model.fraction_of_l2(model.per_line_bits(checkbits::SECDED)) - 0.023).abs() < 0.001
+        );
+        assert!(
+            (model.fraction_of_l2(model.per_line_bits(checkbits::DECTED)) - 0.043).abs() < 0.001
+        );
         let msecc = model.per_line_bits(checkbits::OLSC_PAPER);
         assert!((model.fraction_of_l2(msecc) - 0.386).abs() < 0.003);
         let killi = model.killi_bits(256, checkbits::SECDED);

@@ -195,6 +195,10 @@ mod tests {
     #[should_panic(expected = "no L2 accesses")]
     fn baseline_must_have_activity() {
         let m = PowerModel::paper();
-        m.normalized(SchemePower::flair(), &SimStats::default(), &SimStats::default());
+        m.normalized(
+            SchemePower::flair(),
+            &SimStats::default(),
+            &SimStats::default(),
+        );
     }
 }

@@ -95,7 +95,10 @@ mod tests {
             * 0.25
             * binom_pmf(SEG_BITS, 0, p).powi((SEGMENTS - 1) as i32);
         let full = p_hazard_line(p);
-        assert!((full - two_bit_only) / full < 0.05, "{full} vs {two_bit_only}");
+        assert!(
+            (full - two_bit_only) / full < 0.05,
+            "{full} vs {two_bit_only}"
+        );
     }
 
     #[test]

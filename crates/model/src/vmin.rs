@@ -49,7 +49,13 @@ impl Die {
     /// Usable-line fraction for a scheme correcting `correctable` faults
     /// per 523-cell line at voltage `vdd`.
     pub fn capacity(&self, vdd: NormVdd, correctable: u64) -> f64 {
-        LineFaultDistribution::enabled_fraction_at(&self.model, vdd, FreqGhz::PEAK, 523, correctable)
+        LineFaultDistribution::enabled_fraction_at(
+            &self.model,
+            vdd,
+            FreqGhz::PEAK,
+            523,
+            correctable,
+        )
     }
 
     /// Minimum voltage (to 1 mV of normalized VDD) at which the die keeps
@@ -89,11 +95,32 @@ pub fn yield_at(
     correctable: u64,
 ) -> f64 {
     let ok = (0..dies)
-        .filter(|&i| {
-            Die::sample(base, die_sigma, seed, i).capacity(vdd, correctable) >= target
-        })
+        .filter(|&i| Die::sample(base, die_sigma, seed, i).capacity(vdd, correctable) >= target)
         .count();
     ok as f64 / dies as f64
+}
+
+/// Monte-Carlo replicated fleet yield: one independently-seeded die
+/// population per replicate (seeds derived from `root_seed` with the
+/// sweep engine's hierarchical scheme), so callers can put a confidence
+/// interval on the yield estimate instead of quoting a single draw.
+#[allow(clippy::too_many_arguments)]
+pub fn yield_samples(
+    base: &CellFailureModel,
+    die_sigma: f64,
+    root_seed: u64,
+    replications: u64,
+    dies: u64,
+    vdd: NormVdd,
+    target: f64,
+    correctable: u64,
+) -> Vec<f64> {
+    (0..replications)
+        .map(|rep| {
+            let seed = killi_fault::rng::derive_seed(root_seed, "yield", &[rep]);
+            yield_at(base, die_sigma, seed, dies, vdd, target, correctable)
+        })
+        .collect()
 }
 
 /// Rational inverse-normal (Acklam); adequate for sampling die spreads.
@@ -104,7 +131,7 @@ fn inverse_normal(u: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -197,7 +224,10 @@ mod tests {
         let good = Die::sample(&base, 0.0, 1, 0); // sigma 0: typical
         let bad = Die {
             model: CellFailureModel::from_anchors(
-                base_anchors(&base).iter().map(|&(v, l)| (v, l + 1.0)).collect(),
+                base_anchors(&base)
+                    .iter()
+                    .map(|&(v, l)| (v, l + 1.0))
+                    .collect(),
                 base.sigma(),
             ),
             multiplier: 10.0,
@@ -222,5 +252,23 @@ mod tests {
         let a = Die::sample(&base, 0.5, 3, 17);
         let b = Die::sample(&base, 0.5, 3, 17);
         assert_eq!(a.multiplier, b.multiplier);
+    }
+
+    #[test]
+    fn yield_replicates_are_deterministic_and_independent() {
+        let base = base();
+        let a = yield_samples(&base, 0.5, 42, 4, 50, NormVdd(0.625), 0.98, 1);
+        let b = yield_samples(&base, 0.5, 42, 4, 50, NormVdd(0.625), 0.98, 1);
+        assert_eq!(a, b, "pure function of the root seed");
+        assert_eq!(a.len(), 4);
+        // Different replicates draw different die populations; with 50
+        // dies at least one pair of estimates should differ.
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "replicates look identical: {a:?}"
+        );
+        for y in a {
+            assert!((0.0..=1.0).contains(&y));
+        }
     }
 }

@@ -320,9 +320,7 @@ impl L2Cache {
                 best_valid = Some((self.lru[id], w));
             }
         }
-        best_invalid
-            .map(|(_, w)| w)
-            .or(best_valid.map(|(_, w)| w))
+        best_invalid.map(|(_, w)| w).or(best_valid.map(|(_, w)| w))
     }
 
     fn invalidate_line(&mut self, id: LineId, notify: bool) {
@@ -343,8 +341,8 @@ impl L2Cache {
             self.dirty[id] = false;
             self.stats.writebacks += 1;
             let set = id / self.geom.ways;
-            let addr =
-                (self.tags[id] * self.geom.sets() as u64 + set as u64) * self.geom.line_bytes as u64;
+            let addr = (self.tags[id] * self.geom.sets() as u64 + set as u64)
+                * self.geom.line_bytes as u64;
             self.pending_writebacks.push(addr);
         }
     }
@@ -445,8 +443,8 @@ impl L2Cache {
                     extra_cycles,
                     corrected,
                 } => {
-                    latency += self.data_latency + self.protection.hit_latency_extra()
-                        + extra_cycles;
+                    latency +=
+                        self.data_latency + self.protection.hit_latency_extra() + extra_cycles;
                     if corrected {
                         self.stats.corrections += 1;
                     }
@@ -661,7 +659,7 @@ mod tests {
         let mut mem = MainMemory::new(1, 10);
         let sets = g.sets() as u64;
         let stride = 64 * sets; // same set
-        // Fill 4 ways, then touch first to make it MRU, then add a 5th line.
+                                // Fill 4 ways, then touch first to make it MRU, then add a 5th line.
         for i in 0..4 {
             c.access_load(i * stride, i * 1000, &mut mem);
         }

@@ -152,14 +152,11 @@ impl GpuSim {
             .map(|_| TagCache::new(self.config.l1))
             .collect();
 
-        loop {
-            // Pick the live CU with the smallest local time.
-            let Some(cu) = (0..cus.len())
-                .filter(|&i| !cus[i].done)
-                .min_by_key(|&i| cus[i].time)
-            else {
-                break;
-            };
+        // Each turn services the live CU with the smallest local time.
+        while let Some(cu) = (0..cus.len())
+            .filter(|&i| !cus[i].done)
+            .min_by_key(|&i| cus[i].time)
+        {
             let Some(op) = streams[cu].next() else {
                 // Drain outstanding loads, then retire the CU.
                 let drained = cus[cu]
@@ -317,7 +314,13 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let ops: Vec<TraceOp> = (0..500)
-            .map(|i| if i % 3 == 0 { Load((i * 97) % 8192 * 64) } else { Compute(2) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    Load((i * 97) % 8192 * 64)
+                } else {
+                    Compute(2)
+                }
+            })
             .collect();
         let a = run_small(vec![ops.clone(), ops.clone()]);
         let b = run_small(vec![ops.clone(), ops]);

@@ -241,6 +241,9 @@ mod tests {
                 _ => TraceOp::Compute((i % 40) as u32 + 1),
             })
             .collect();
-        assert_eq!(roundtrip(vec![ops.clone(), ops.clone()]), vec![ops.clone(), ops]);
+        assert_eq!(
+            roundtrip(vec![ops.clone(), ops.clone()]),
+            vec![ops.clone(), ops]
+        );
     }
 }

@@ -89,12 +89,7 @@ fn every_scheme_close_to_baseline_at_operating_point() {
     let base = baseline_of(&results, "miniamr");
     for r in results.iter().filter(|r| r.scheme != "baseline") {
         let norm = r.stats.normalized_time(&base.stats);
-        assert!(
-            norm < 1.10,
-            "{} at {:.3}x baseline",
-            r.scheme,
-            norm
-        );
+        assert!(norm < 1.10, "{} at {:.3}x baseline", r.scheme, norm);
     }
 }
 
@@ -102,17 +97,14 @@ fn every_scheme_close_to_baseline_at_operating_point() {
 fn killi_tracks_ecc_cache_size_monotonically_on_capacity_sensitive_load() {
     let results = run_matrix(
         &[Workload::Xsbench],
-        &[SchemeSpec::Killi(256), SchemeSpec::Killi(64), SchemeSpec::Killi(16)],
+        &[
+            SchemeSpec::Killi(256),
+            SchemeSpec::Killi(64),
+            SchemeSpec::Killi(16),
+        ],
         &config(0.625),
     );
-    let mpki = |s: &str| {
-        results
-            .iter()
-            .find(|r| r.scheme == s)
-            .unwrap()
-            .stats
-            .mpki()
-    };
+    let mpki = |s: &str| results.iter().find(|r| r.scheme == s).unwrap().stats.mpki();
     assert!(mpki("killi-1:256") >= mpki("killi-1:64") * 0.999);
     assert!(mpki("killi-1:64") >= mpki("killi-1:16") * 0.999);
 }
