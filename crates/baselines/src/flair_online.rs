@@ -14,7 +14,8 @@ use std::sync::Arc;
 use killi_ecc::bits::Line512;
 use killi_ecc::secded::{secded, SecdedCode, SecdedDecode};
 use killi_fault::map::{FaultMap, LineId};
-use killi_sim::protection::{FillOutcome, LineProtection, ProtectionStats, ReadOutcome};
+use killi_obs::{Counter, KilliEvent, MetricSet, Sink};
+use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 /// Training progress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,7 @@ pub struct FlairOnline {
     corrections: u64,
     detections: u64,
     dmr_saves: u64,
+    sink: Sink,
 }
 
 impl FlairOnline {
@@ -69,6 +71,7 @@ impl FlairOnline {
             corrections: 0,
             detections: 0,
             dmr_saves: 0,
+            sink: Sink::none(),
         }
     }
 
@@ -164,7 +167,7 @@ impl LineProtection for FlairOnline {
             return ReadOutcome::ErrorMiss { extra_cycles: 0 };
         };
         let dmr = matches!(self.phase, Phase::Training { .. }) && !self.tested[line];
-        match secded().decode(stored, code) {
+        let outcome = match secded().decode(stored, code) {
             SecdedDecode::Clean | SecdedDecode::CorrectedCheck => ReadOutcome::Clean {
                 extra_cycles: 0,
                 corrected: false,
@@ -193,15 +196,24 @@ impl LineProtection for FlairOnline {
                     // A detected-uncorrectable pattern under DMR is repaired
                     // by the duplicate: treat as an error miss with zero
                     // extra penalty to refresh the array content.
-                    self.detections += 1;
-                    self.codes[line] = None;
-                    return ReadOutcome::ErrorMiss { extra_cycles: 0 };
                 }
                 self.detections += 1;
                 self.codes[line] = None;
                 ReadOutcome::ErrorMiss { extra_cycles: 0 }
             }
-        }
+        };
+        self.sink.emit(|| KilliEvent::SyndromeObservation {
+            line: line as u32,
+            corrected: matches!(
+                outcome,
+                ReadOutcome::Clean {
+                    corrected: true,
+                    ..
+                }
+            ),
+            detected: matches!(outcome, ReadOutcome::ErrorMiss { .. }),
+        });
+        outcome
     }
 
     fn on_evict(&mut self, line: LineId, _stored: &Line512) {
@@ -212,15 +224,19 @@ impl LineProtection for FlairOnline {
         1
     }
 
-    fn protection_stats(&self) -> ProtectionStats {
-        ProtectionStats {
-            disabled_lines: self.disabled.iter().filter(|&&d| d).count() as u64,
-            corrections: self.corrections,
-            detections: self.detections,
-            ecc_cache_accesses: 0,
-            ecc_cache_evictions: 0,
-            dfh_census: None,
-        }
+    fn attach_sink(&mut self, sink: Sink) {
+        self.sink = sink;
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.set(
+            Counter::DisabledLines,
+            self.disabled.iter().filter(|&&d| d).count() as u64,
+        );
+        m.set(Counter::Corrections, self.corrections);
+        m.set(Counter::Detections, self.detections);
+        m
     }
 }
 

@@ -15,7 +15,8 @@ use std::sync::Arc;
 use killi_ecc::bits::Line512;
 use killi_ecc::olsc::{OlscDecode, OlscLine};
 use killi_fault::map::{FaultMap, LineId};
-use killi_sim::protection::{FillOutcome, LineProtection, ProtectionStats, ReadOutcome};
+use killi_obs::{Counter, KilliEvent, MetricSet, Sink};
+use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 /// The MS-ECC protection scheme.
 pub struct MsEcc {
@@ -24,6 +25,7 @@ pub struct MsEcc {
     codes: Vec<Option<Vec<bool>>>,
     corrections: u64,
     detections: u64,
+    sink: Sink,
 }
 
 impl MsEcc {
@@ -65,6 +67,7 @@ impl MsEcc {
             codes: vec![None; l2_lines],
             corrections: 0,
             detections: 0,
+            sink: Sink::none(),
         }
     }
 
@@ -107,7 +110,7 @@ impl LineProtection for MsEcc {
         };
         // Decode needs ownership-free access; clone the small bit vector.
         let code = code.to_vec();
-        match self.codec.decode(stored, &code) {
+        let outcome = match self.codec.decode(stored, &code) {
             OlscDecode::Clean => ReadOutcome::Clean {
                 extra_cycles: 0,
                 corrected: false,
@@ -125,7 +128,19 @@ impl LineProtection for MsEcc {
                 self.codes[line] = None;
                 ReadOutcome::ErrorMiss { extra_cycles: 0 }
             }
-        }
+        };
+        self.sink.emit(|| KilliEvent::SyndromeObservation {
+            line: line as u32,
+            corrected: matches!(
+                outcome,
+                ReadOutcome::Clean {
+                    corrected: true,
+                    ..
+                }
+            ),
+            detected: matches!(outcome, ReadOutcome::ErrorMiss { .. }),
+        });
+        outcome
     }
 
     fn on_evict(&mut self, line: LineId, _stored: &Line512) {
@@ -136,15 +151,16 @@ impl LineProtection for MsEcc {
         1 // majority-logic decoding is single-cycle-class logic
     }
 
-    fn protection_stats(&self) -> ProtectionStats {
-        ProtectionStats {
-            disabled_lines: self.disabled_count() as u64,
-            corrections: self.corrections,
-            detections: self.detections,
-            ecc_cache_accesses: 0,
-            ecc_cache_evictions: 0,
-            dfh_census: None,
-        }
+    fn attach_sink(&mut self, sink: Sink) {
+        self.sink = sink;
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.set(Counter::DisabledLines, self.disabled_count() as u64);
+        m.set(Counter::Corrections, self.corrections);
+        m.set(Counter::Detections, self.detections);
+        m
     }
 }
 

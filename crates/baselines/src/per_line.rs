@@ -18,7 +18,8 @@ use killi_ecc::bch::{dected, DectedCode, DectedDecode};
 use killi_ecc::bits::Line512;
 use killi_ecc::secded::{secded, SecdedCode, SecdedDecode};
 use killi_fault::map::{layout, FaultMap, LineId};
-use killi_sim::protection::{FillOutcome, LineProtection, ProtectionStats, ReadOutcome};
+use killi_obs::{Counter, KilliEvent, MetricSet, Sink};
+use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 /// Which per-line code a [`PerLineEcc`] baseline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,7 @@ pub struct PerLineEcc {
     codes: Vec<Option<StoredCode>>,
     corrections: u64,
     detections: u64,
+    sink: Sink,
 }
 
 impl PerLineEcc {
@@ -98,6 +100,7 @@ impl PerLineEcc {
             codes: vec![None; l2_lines],
             corrections: 0,
             detections: 0,
+            sink: Sink::none(),
         }
     }
 
@@ -158,7 +161,7 @@ impl LineProtection for PerLineEcc {
             debug_assert!(false, "read hit without stored checkbits");
             return ReadOutcome::ErrorMiss { extra_cycles: 0 };
         };
-        match code {
+        let outcome = match code {
             StoredCode::Secded(c) => match secded().decode(stored, c) {
                 SecdedDecode::Clean => ReadOutcome::Clean {
                     extra_cycles: 0,
@@ -208,7 +211,19 @@ impl LineProtection for PerLineEcc {
                     ReadOutcome::ErrorMiss { extra_cycles: 0 }
                 }
             },
-        }
+        };
+        self.sink.emit(|| KilliEvent::SyndromeObservation {
+            line: line as u32,
+            corrected: matches!(
+                outcome,
+                ReadOutcome::Clean {
+                    corrected: true,
+                    ..
+                }
+            ),
+            detected: matches!(outcome, ReadOutcome::ErrorMiss { .. }),
+        });
+        outcome
     }
 
     fn on_evict(&mut self, line: LineId, _stored: &Line512) {
@@ -219,15 +234,16 @@ impl LineProtection for PerLineEcc {
         self.strength.check_latency()
     }
 
-    fn protection_stats(&self) -> ProtectionStats {
-        ProtectionStats {
-            disabled_lines: self.disabled_count() as u64,
-            corrections: self.corrections,
-            detections: self.detections,
-            ecc_cache_accesses: 0,
-            ecc_cache_evictions: 0,
-            dfh_census: None,
-        }
+    fn attach_sink(&mut self, sink: Sink) {
+        self.sink = sink;
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.set(Counter::DisabledLines, self.disabled_count() as u64);
+        m.set(Counter::Corrections, self.corrections);
+        m.set(Counter::Detections, self.detections);
+        m
     }
 }
 

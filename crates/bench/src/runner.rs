@@ -5,11 +5,12 @@ use std::sync::Arc;
 
 use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
 use killi_fault::map::FaultMap;
+use killi_obs::{escape_json, Counter, MetricSet, Sink};
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_sim::stats::SimStats;
 use killi_workloads::{TraceParams, Workload};
 
-use crate::schemes::SchemeSpec;
+use crate::schemes::{BuildCtx, SchemeSpec};
 
 /// Matrix configuration.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +42,28 @@ impl MatrixConfig {
     }
 }
 
+/// Observability configuration of a single simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Event-trace ring capacity. `None` runs with the no-op sink: no
+    /// events are constructed and no trace is exported.
+    pub trace_capacity: Option<usize>,
+    /// Extra key/value pairs stamped into the trace header (e.g. the
+    /// sweep's vdd and replicate index). Values are emitted as JSON
+    /// strings.
+    pub context: Vec<(&'static str, String)>,
+}
+
+impl ObsConfig {
+    /// Tracing enabled with the given ring capacity.
+    pub fn traced(capacity: usize) -> Self {
+        ObsConfig {
+            trace_capacity: Some(capacity),
+            context: Vec::new(),
+        }
+    }
+}
+
 /// One cell of the experiment matrix.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -52,6 +75,11 @@ pub struct RunResult {
     pub stats: SimStats,
     /// Disabled-line count at end of run.
     pub disabled_lines: u64,
+    /// Scheme-level observability counters, merged with the L2-level miss
+    /// split (error-induced vs ECC-cache-induced).
+    pub metrics: MetricSet,
+    /// JSON-lines event trace (`killi-obs/v1`), when tracing was on.
+    pub trace: Option<String>,
 }
 
 /// Runs one (workload, scheme) simulation with explicit trace seed and
@@ -64,11 +92,16 @@ pub fn run_cell(
     ops_per_cu: usize,
     map: &Arc<FaultMap>,
     trace_seed: u64,
+    obs: &ObsConfig,
 ) -> RunResult {
-    let lines = gpu.l2.lines();
-    let ways = gpu.l2.ways;
-    let protection = spec.build(map, lines, ways);
+    let sink = match obs.trace_capacity {
+        Some(capacity) => Sink::recording(capacity),
+        None => Sink::none(),
+    };
+    let ctx = BuildCtx::new(Arc::clone(map), gpu.l2).with_sink(sink.clone());
+    let protection = spec.build(&ctx);
     let mut sim = GpuSim::new(*gpu, Arc::clone(map), protection, trace_seed);
+    sim.attach_sink(sink.clone());
     let params = TraceParams {
         cus: gpu.cus,
         ops_per_cu,
@@ -76,16 +109,34 @@ pub fn run_cell(
         l2_bytes: gpu.l2.size_bytes,
     };
     let stats = sim.run(workload.trace(&params));
-    let disabled = sim.l2().protection().protection_stats().disabled_lines;
+    let mut metrics = sim.l2().protection().metrics();
+    // The miss split is owned by the L2 model, not the scheme: fold it in
+    // here so a cell's MetricSet is self-contained.
+    metrics.set(Counter::ErrorInducedMisses, stats.l2_error_misses);
+    metrics.set(Counter::EccInducedMisses, stats.ecc_induced_invalidations);
+    let disabled = metrics.get(Counter::DisabledLines);
+    let json_string = |s: &str| format!("\"{}\"", escape_json(s));
+    let trace = sink.export_jsonl(&{
+        let mut context: Vec<(&str, String)> = vec![
+            ("workload", json_string(workload.name())),
+            ("scheme", json_string(&spec.label())),
+            ("trace_seed", trace_seed.to_string()),
+        ];
+        context.extend(obs.context.iter().map(|(k, v)| (*k, json_string(v))));
+        context
+    });
     RunResult {
         workload: workload.name(),
         scheme: spec.label(),
         stats,
         disabled_lines: disabled,
+        metrics,
+        trace,
     }
 }
 
-/// Runs one (workload, scheme) cell of a matrix configuration.
+/// Runs one (workload, scheme) cell of a matrix configuration with the
+/// no-op sink.
 pub fn run_one(
     workload: Workload,
     spec: SchemeSpec,
@@ -99,6 +150,7 @@ pub fn run_one(
         config.ops_per_cu,
         map,
         config.seed,
+        &ObsConfig::default(),
     )
 }
 

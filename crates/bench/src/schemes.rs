@@ -7,7 +7,43 @@ use killi_baselines::flair_online::FlairOnline;
 use killi_baselines::msecc::MsEcc;
 use killi_baselines::per_line::PerLineEcc;
 use killi_fault::map::FaultMap;
+use killi_obs::Sink;
+use killi_sim::cache::CacheGeometry;
 use killi_sim::protection::{LineProtection, Unprotected};
+
+/// Everything a scheme factory needs: the fault substrate, the cache shape
+/// it protects, and the observability sink its events flow into.
+///
+/// Replaces the old positional `build(&map, lines, ways)` signature so new
+/// wiring (like the sink) reaches every scheme without touching call sites
+/// again.
+#[derive(Debug, Clone)]
+pub struct BuildCtx {
+    /// Stuck-at fault population of the low-voltage array.
+    pub fault_map: Arc<FaultMap>,
+    /// Geometry of the L2 the scheme protects.
+    pub geometry: CacheGeometry,
+    /// Event sink handed to the scheme (defaults to the no-op sink).
+    pub sink: Sink,
+}
+
+impl BuildCtx {
+    /// A context with the no-op sink.
+    pub fn new(fault_map: Arc<FaultMap>, geometry: CacheGeometry) -> Self {
+        BuildCtx {
+            fault_map,
+            geometry,
+            sink: Sink::none(),
+        }
+    }
+
+    /// Replaces the sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Sink) -> Self {
+        self.sink = sink;
+        self
+    }
+}
 
 /// Every protection configuration the experiments compare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,9 +121,13 @@ impl SchemeSpec {
         matches!(self, SchemeSpec::Baseline)
     }
 
-    /// Builds the protection scheme for an L2 of `lines` x `ways`.
-    pub fn build(&self, map: &Arc<FaultMap>, lines: usize, ways: usize) -> Box<dyn LineProtection> {
-        match *self {
+    /// Builds the protection scheme for the L2 described by `ctx`, with
+    /// `ctx.sink` attached.
+    pub fn build(&self, ctx: &BuildCtx) -> Box<dyn LineProtection> {
+        let map = &ctx.fault_map;
+        let lines = ctx.geometry.lines();
+        let ways = ctx.geometry.ways;
+        let mut scheme: Box<dyn LineProtection> = match *self {
             SchemeSpec::Baseline => Box::new(Unprotected::new()),
             SchemeSpec::Dected => Box::new(PerLineEcc::dected_per_line(Arc::clone(map), lines)),
             SchemeSpec::Flair => Box::new(PerLineEcc::flair(Arc::clone(map), lines)),
@@ -129,7 +169,9 @@ impl SchemeSpec {
                 lines,
                 ways,
             )),
-        }
+        };
+        scheme.attach_sink(ctx.sink.clone());
+        scheme
     }
 }
 
@@ -150,7 +192,12 @@ mod tests {
 
     #[test]
     fn every_spec_builds() {
-        let map = Arc::new(FaultMap::fault_free(1024));
+        let geometry = CacheGeometry {
+            size_bytes: 1024 * 64,
+            ways: 16,
+            line_bytes: 64,
+        };
+        let ctx = BuildCtx::new(Arc::new(FaultMap::fault_free(geometry.lines())), geometry);
         for spec in [
             SchemeSpec::Baseline,
             SchemeSpec::Dected,
@@ -163,8 +210,32 @@ mod tests {
             SchemeSpec::KilliInverted(16),
             SchemeSpec::KilliOlsc(16),
         ] {
-            let s = spec.build(&map, 1024, 16);
+            let s = spec.build(&ctx);
             assert!(!s.name().is_empty(), "{spec:?}");
         }
+    }
+
+    #[test]
+    fn build_wires_the_sink_through() {
+        use killi_ecc::bits::Line512;
+
+        let geometry = CacheGeometry {
+            size_bytes: 1024 * 64,
+            ways: 16,
+            line_bytes: 64,
+        };
+        let sink = Sink::recording(64);
+        let ctx = BuildCtx::new(Arc::new(FaultMap::fault_free(geometry.lines())), geometry)
+            .with_sink(sink.clone());
+        let mut killi = SchemeSpec::Killi(16).build(&ctx);
+        let data = Line512::from_seed(1);
+        killi.on_fill(0, &data);
+        let mut stored = data;
+        let _ = killi.on_read_hit(0, &mut stored);
+        killi.on_evict(0, &stored);
+        assert!(
+            sink.events_emitted().unwrap_or(0) > 0,
+            "scheme built via BuildCtx must emit into the provided sink"
+        );
     }
 }

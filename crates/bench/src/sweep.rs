@@ -28,9 +28,11 @@ use killi_sim::gpu::GpuConfig;
 use killi_sim::stats::SimStats;
 use killi_workloads::Workload;
 
+use killi_obs::MetricSet;
+
 use crate::exec::{par_map, Progress};
 use crate::report::Table;
-use crate::runner::run_cell;
+use crate::runner::{run_cell, ObsConfig};
 use crate::schemes::SchemeSpec;
 
 /// Streaming mean/variance accumulator (Welford's algorithm): numerically
@@ -157,6 +159,9 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Progress cadence (print every N completed jobs; 0 = silent).
     pub progress_every: usize,
+    /// Per-job event-trace ring capacity. `None` (the default setups)
+    /// runs every simulation with the no-op sink.
+    pub trace_capacity: Option<usize>,
 }
 
 impl SweepConfig {
@@ -174,6 +179,7 @@ impl SweepConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             progress_every: 0,
+            trace_capacity: None,
         }
     }
 
@@ -197,6 +203,8 @@ pub struct SweepCell {
     pub workload: &'static str,
     /// Per-metric accumulators, indexed like [`METRIC_NAMES`].
     pub metrics: [Accumulator; 9],
+    /// Observability counters summed over the cell's replicates.
+    pub obs: MetricSet,
 }
 
 impl SweepCell {
@@ -231,6 +239,10 @@ pub struct SweepReport {
     pub workloads: Vec<&'static str>,
     /// Baseline cells first, then vdd-major / scheme / workload order.
     pub cells: Vec<SweepCell>,
+    /// Concatenated per-job JSON-lines traces (`killi-obs/v1`), in
+    /// deterministic job order; `None` when tracing was off. Kept out of
+    /// [`SweepReport::to_json`] — it is a separate artifact.
+    pub trace: Option<String>,
     /// Wall-clock seconds of the parallel phase. Deliberately *not*
     /// serialized to JSON — the report must be byte-identical across
     /// thread counts and machines.
@@ -309,42 +321,54 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
 
     let progress = Progress::new("sweep", jobs.len(), config.progress_every);
     let results = par_map(config.threads, &jobs, Some(&progress), |_, &job| {
-        let (workload, spec, map, rep) = match job {
-            Job::Baseline { w, rep } => (config.workloads[w], SchemeSpec::Baseline, &free_map, rep),
+        let (workload, spec, map, rep, vdd) = match job {
+            Job::Baseline { w, rep } => (
+                config.workloads[w],
+                SchemeSpec::Baseline,
+                &free_map,
+                rep,
+                1.0,
+            ),
             Job::Cell { v, s, w, rep } => (
                 config.workloads[w],
                 config.schemes[s],
                 &maps[v * reps + rep],
                 rep,
+                config.vdds[v],
             ),
         };
         let w = match job {
             Job::Baseline { w, .. } | Job::Cell { w, .. } => w,
         };
-        let r = run_cell(
+        let obs = ObsConfig {
+            trace_capacity: config.trace_capacity,
+            context: vec![("vdd", format!("{vdd:?}")), ("rep", rep.to_string())],
+        };
+        run_cell(
             workload,
             spec,
             &config.gpu,
             config.ops_per_cu,
             map,
             trace_seed(w, rep),
-        );
-        (r.stats, r.disabled_lines)
+            &obs,
+        )
     });
 
     // Phase 3: deterministic sequential aggregation. Baseline cycles per
     // (workload, replicate) pair the normalized-time ratios.
-    let baseline_cycles = |w: usize, rep: usize| results[w * reps + rep].0.cycles;
+    let baseline_cycles = |w: usize, rep: usize| results[w * reps + rep].stats.cycles;
     let fold = |cell: &mut SweepCell, job_index: usize, w: usize, rep: usize| {
-        let (stats, disabled) = results[job_index];
+        let r = &results[job_index];
         let sample = Sample {
-            stats,
-            disabled_lines: disabled,
-            norm_time: stats.cycles as f64 / baseline_cycles(w, rep).max(1) as f64,
+            stats: r.stats,
+            disabled_lines: r.disabled_lines,
+            norm_time: r.stats.cycles as f64 / baseline_cycles(w, rep).max(1) as f64,
         };
         for (acc, value) in cell.metrics.iter_mut().zip(metric_values(&sample)) {
             acc.add(value);
         }
+        cell.obs.merge(&r.metrics);
     };
 
     let mut cells = Vec::new();
@@ -354,6 +378,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
             scheme: "baseline".to_string(),
             workload: workload.name(),
             metrics: Default::default(),
+            obs: MetricSet::new(),
         };
         for rep in 0..reps {
             fold(&mut cell, w * reps + rep, w, rep);
@@ -370,6 +395,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
                     scheme: config.schemes[s].label(),
                     workload: workload.name(),
                     metrics: Default::default(),
+                    obs: MetricSet::new(),
                 };
                 for rep in 0..reps {
                     fold(&mut cell, job_index, w, rep);
@@ -380,6 +406,15 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
         }
     }
 
+    // Traces concatenate in job order, which is itself deterministic, so
+    // the artifact is byte-identical for any thread count.
+    let trace = config.trace_capacity.map(|_| {
+        results
+            .iter()
+            .filter_map(|r| r.trace.as_deref())
+            .collect::<String>()
+    });
+
     SweepReport {
         root_seed: config.root_seed,
         replications: reps,
@@ -388,6 +423,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
         schemes: config.schemes.iter().map(SchemeSpec::label).collect(),
         workloads: config.workloads.iter().map(|w| w.name()).collect(),
         cells,
+        trace,
         wall_secs: started.elapsed().as_secs_f64(),
     }
 }
@@ -419,12 +455,13 @@ fn json_str(s: &str) -> String {
 
 impl SweepReport {
     /// Serializes the report as deterministic, pretty-printed JSON
-    /// (schema `killi-sweep/v1`). Wall-clock timing is excluded so the
-    /// bytes depend only on (config, root seed) — never on thread count.
+    /// (schema `killi-sweep/v2`; v2 adds the per-cell `"obs"` counter
+    /// block). Wall-clock timing is excluded so the bytes depend only on
+    /// (config, root seed) — never on thread count.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"killi-sweep/v1\",\n");
+        out.push_str("  \"schema\": \"killi-sweep/v2\",\n");
         out.push_str(&format!("  \"root_seed\": {},\n", self.root_seed));
         out.push_str(&format!("  \"replications\": {},\n", self.replications));
         out.push_str(&format!("  \"ops_per_cu\": {},\n", self.ops_per_cu));
@@ -464,7 +501,8 @@ impl SweepReport {
                     if m + 1 < METRIC_NAMES.len() { "," } else { "" }
                 ));
             }
-            out.push_str("      }\n");
+            out.push_str("      },\n");
+            out.push_str(&format!("      \"obs\": {}\n", cell.obs.to_json()));
             out.push_str(&format!(
                 "    }}{}\n",
                 if i + 1 < self.cells.len() { "," } else { "" }
@@ -556,6 +594,7 @@ mod tests {
             },
             threads: 2,
             progress_every: 0,
+            trace_capacity: None,
         }
     }
 
@@ -606,8 +645,9 @@ mod tests {
     fn json_is_valid_enough_and_carries_schema() {
         let report = run_sweep(&tiny_sweep());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"killi-sweep/v1\""));
+        assert!(json.contains("\"schema\": \"killi-sweep/v2\""));
         assert!(json.contains("\"norm_time\""));
+        assert!(json.contains("\"obs\""));
         assert!(!json.contains("wall"), "timing must stay out of the JSON");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -624,7 +664,7 @@ mod tests {
         let arr = json_array(&[r.clone(), r]);
         assert!(arr.starts_with("[\n"));
         assert!(arr.ends_with("]\n"));
-        assert_eq!(arr.matches("killi-sweep/v1").count(), 2);
+        assert_eq!(arr.matches("killi-sweep/v2").count(), 2);
     }
 
     #[test]

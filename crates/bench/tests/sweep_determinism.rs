@@ -31,6 +31,7 @@ fn tiny(threads: usize) -> SweepConfig {
         },
         threads,
         progress_every: 0,
+        trace_capacity: None,
     }
 }
 
@@ -46,6 +47,30 @@ fn json_report_is_byte_identical_across_thread_counts() {
     }
     // And it is stable across repeated runs in the same process.
     assert_eq!(reference, run_sweep(&tiny(4)).to_json());
+}
+
+#[test]
+fn event_trace_is_byte_identical_across_thread_counts() {
+    let traced = |threads: usize| SweepConfig {
+        trace_capacity: Some(256),
+        ..tiny(threads)
+    };
+    let reference = run_sweep(&traced(1));
+    let ref_trace = reference.trace.as_deref().expect("tracing was on");
+    assert!(
+        ref_trace.contains("\"schema\":\"killi-obs/v1\""),
+        "trace must carry the killi-obs/v1 header"
+    );
+    assert!(ref_trace.contains("\"type\":"), "trace must carry events");
+    for threads in [2, 8] {
+        let report = run_sweep(&traced(threads));
+        assert_eq!(reference.to_json(), report.to_json());
+        assert_eq!(
+            Some(ref_trace),
+            report.trace.as_deref(),
+            "event trace diverged between 1 and {threads} threads"
+        );
+    }
 }
 
 #[test]

@@ -4,24 +4,72 @@
 use std::collections::HashMap;
 
 /// Parsed command line: a subcommand plus `--key value` flags.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     /// The first positional argument.
     pub command: Option<String>,
     flags: HashMap<String, String>,
 }
 
-/// A flag parsing error with a user-facing message.
+/// A flag-parsing error, named by failure mode so subcommands and tests
+/// can match on what went wrong instead of string-matching messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ArgError(pub String);
+pub enum ArgError {
+    /// `--flag` appeared with no value after it.
+    MissingValue { flag: String },
+    /// A required flag was not given.
+    MissingFlag { flag: String, hint: &'static str },
+    /// A flag's value did not parse; `expected` describes the legal form.
+    InvalidValue {
+        flag: String,
+        value: String,
+        expected: String,
+    },
+    /// A positional argument after the subcommand.
+    UnexpectedPositional { arg: String },
+    /// An unrecognized subcommand.
+    UnknownCommand { command: String },
+    /// An I/O failure while executing a subcommand.
+    Io { message: String },
+}
+
+impl ArgError {
+    /// Convenience constructor for [`ArgError::InvalidValue`].
+    pub fn invalid(flag: &str, value: &str, expected: impl Into<String>) -> Self {
+        ArgError::InvalidValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expected: expected.into(),
+        }
+    }
+}
 
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            ArgError::MissingValue { flag } => write!(f, "--{flag} needs a value"),
+            ArgError::MissingFlag { flag, hint } => write!(f, "{hint} needs --{flag}"),
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag}: '{value}' is not {expected}"),
+            ArgError::UnexpectedPositional { arg } => write!(f, "unexpected argument '{arg}'"),
+            ArgError::UnknownCommand { command } => write!(f, "unknown command '{command}'"),
+            ArgError::Io { message } => write!(f, "{message}"),
+        }
     }
 }
 
 impl std::error::Error for ArgError {}
+
+impl From<std::io::Error> for ArgError {
+    fn from(e: std::io::Error) -> Self {
+        ArgError::Io {
+            message: e.to_string(),
+        }
+    }
+}
 
 impl Args {
     /// Parses an iterator of arguments (exclusive of the binary name).
@@ -35,14 +83,14 @@ impl Args {
         let mut iter = args.into_iter();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                let value = iter.next().ok_or_else(|| ArgError::MissingValue {
+                    flag: name.to_string(),
+                })?;
                 out.flags.insert(name.to_string(), value);
             } else if out.command.is_none() {
                 out.command = Some(a);
             } else {
-                return Err(ArgError(format!("unexpected argument '{a}'")));
+                return Err(ArgError::UnexpectedPositional { arg: a });
             }
         }
         Ok(out)
@@ -56,6 +104,21 @@ impl Args {
             .unwrap_or_else(|| default.to_string())
     }
 
+    /// Reads a required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingFlag`] when the flag is absent.
+    pub fn require(&self, name: &str, hint: &'static str) -> Result<String, ArgError> {
+        self.flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ArgError::MissingFlag {
+                flag: name.to_string(),
+                hint,
+            })
+    }
+
     /// Reads and parses a numeric flag.
     ///
     /// # Errors
@@ -66,8 +129,85 @@ impl Args {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| ArgError(format!("--{name}: '{v}' is not a valid number"))),
+                .map_err(|_| ArgError::invalid(name, v, "a valid number")),
         }
+    }
+
+    /// Reads and parses an unsigned 64-bit flag (seeds, counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] on a malformed value.
+    pub fn flag_u64(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        self.get_num(name, default)
+    }
+
+    /// Reads and parses a floating-point flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] on a malformed value.
+    pub fn flag_f64(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        self.get_num(name, default)
+    }
+
+    /// Parses a comma-separated list of floats (`--vdds 0.65,0.625,0.6`),
+    /// falling back to `defaults` when the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] on a malformed element or an
+    /// empty list.
+    pub fn flag_f64_list(&self, name: &str, defaults: &str) -> Result<Vec<f64>, ArgError> {
+        self.flag_list(name, defaults, |s| {
+            s.parse::<f64>()
+                .map_err(|_| ArgError::invalid(name, s, "a number"))
+        })
+    }
+
+    /// Reads a flag and parses it with `T`'s [`std::str::FromStr`]
+    /// (workloads, codes, schemes), falling back to `default` when the
+    /// flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] carrying the parse error's
+    /// message as the expectation.
+    pub fn flag_enum<T>(&self, name: &str, default: &str) -> Result<T, ArgError>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.get_or(name, default);
+        raw.parse()
+            .map_err(|e: T::Err| ArgError::invalid(name, &raw, e.to_string()))
+    }
+
+    /// Parses a comma-separated flag value element-wise through `parse`,
+    /// or `defaults` when the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element errors; an empty list is
+    /// [`ArgError::InvalidValue`].
+    pub fn flag_list<T>(
+        &self,
+        name: &str,
+        defaults: &str,
+        parse: impl Fn(&str) -> Result<T, ArgError>,
+    ) -> Result<Vec<T>, ArgError> {
+        let raw = self.get_or(name, defaults);
+        let items: Result<Vec<T>, ArgError> = raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(parse)
+            .collect();
+        let items = items?;
+        if items.is_empty() {
+            return Err(ArgError::invalid(name, &raw, "at least one value"));
+        }
+        Ok(items)
     }
 
     /// True when the flag is present (any value).
@@ -91,23 +231,87 @@ mod tests {
         assert_eq!(a.command.as_deref(), Some("simulate"));
         assert_eq!(a.get_or("vdd", "0.625"), "0.6");
         assert_eq!(a.get_num::<usize>("ops", 0).unwrap(), 1000);
-        assert_eq!(a.get_num::<u64>("seed", 42).unwrap(), 42);
+        assert_eq!(a.flag_u64("seed", 42).unwrap(), 42);
     }
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(parse(&["x", "--vdd"]).is_err());
+        assert_eq!(
+            parse(&["x", "--vdd"]),
+            Err(ArgError::MissingValue {
+                flag: "vdd".to_string()
+            })
+        );
     }
 
     #[test]
     fn stray_positional_is_an_error() {
-        assert!(parse(&["a", "b"]).is_err());
+        assert_eq!(
+            parse(&["a", "b"]),
+            Err(ArgError::UnexpectedPositional {
+                arg: "b".to_string()
+            })
+        );
     }
 
     #[test]
-    fn bad_number_is_an_error() {
+    fn bad_number_is_a_named_error() {
         let a = parse(&["x", "--ops", "many"]).unwrap();
-        assert!(a.get_num::<usize>("ops", 0).is_err());
+        match a.get_num::<usize>("ops", 0) {
+            Err(ArgError::InvalidValue { flag, value, .. }) => {
+                assert_eq!(flag, "ops");
+                assert_eq!(value, "many");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn f64_list_parses_and_rejects() {
+        let a = parse(&["x", "--vdds", "0.65, 0.6"]).unwrap();
+        assert_eq!(a.flag_f64_list("vdds", "0.7").unwrap(), vec![0.65, 0.6]);
+        assert_eq!(a.flag_f64_list("other", "0.7").unwrap(), vec![0.7]);
+        let bad = parse(&["x", "--vdds", "0.65,volts"]).unwrap();
+        assert!(matches!(
+            bad.flag_f64_list("vdds", "0.7"),
+            Err(ArgError::InvalidValue { .. })
+        ));
+        let empty = parse(&["x", "--vdds", " , "]).unwrap();
+        assert!(matches!(
+            empty.flag_f64_list("vdds", "0.7"),
+            Err(ArgError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn flag_enum_parses_via_fromstr() {
+        let a = parse(&["x", "--workload", "hacc"]).unwrap();
+        let w: killi_workloads::Workload = a.flag_enum("workload", "fft").unwrap();
+        assert_eq!(w, killi_workloads::Workload::Hacc);
+        let d: killi_workloads::Workload = a.flag_enum("other", "fft").unwrap();
+        assert_eq!(d, killi_workloads::Workload::Fft);
+        let bad = parse(&["x", "--workload", "doom"]).unwrap();
+        match bad.flag_enum::<killi_workloads::Workload>("workload", "fft") {
+            Err(ArgError::InvalidValue {
+                value, expected, ..
+            }) => {
+                assert_eq!(value, "doom");
+                assert!(expected.contains("choose from"), "{expected}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn require_names_the_missing_flag() {
+        let a = parse(&["record"]).unwrap();
+        assert_eq!(
+            a.require("out", "record"),
+            Err(ArgError::MissingFlag {
+                flag: "out".to_string(),
+                hint: "record"
+            })
+        );
     }
 
     #[test]

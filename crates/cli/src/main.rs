@@ -9,9 +9,13 @@
 //! killi sweep     [--replications 8] [--threads 4] [--vdds 0.65,0.625,0.6]
 //!                 [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
 //!                 [--ops 10000] [--seed 42] [--l2kb 512] [--out FILE.json]
+//!                 [--trace FILE.jsonl] [--trace-capacity 4096]
 //! killi record    --out trace.ktrc [--workload fft] [--ops 100000]
 //! killi replay    --in trace.ktrc [--scheme killi] [--vdd 0.625]
 //! killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
+//! killi stats     --in results/BENCH_sweep.json
+//! killi trace     [--workload fft] [--scheme killi] [--capacity 4096]
+//!                 [--out FILE.jsonl] | --check FILE.jsonl
 //! ```
 
 mod args;
@@ -21,14 +25,15 @@ use std::sync::Arc;
 
 use args::{ArgError, Args};
 use killi_bench::report::Table;
-use killi_bench::runner::{baseline_of, run_matrix, MatrixConfig};
-use killi_bench::schemes::SchemeSpec;
+use killi_bench::runner::{baseline_of, run_cell, run_matrix, MatrixConfig, ObsConfig};
+use killi_bench::schemes::{BuildCtx, SchemeSpec};
 use killi_bench::sweep::{run_sweep, SweepConfig};
 use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
 use killi_fault::line_stats::LineFaultDistribution;
 use killi_fault::map::FaultMap;
 use killi_model::area::{checkbits, AreaModel};
 use killi_model::coverage::coverage_at;
+use killi_obs::{parse_json, JsonValue};
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_workloads::{TraceParams, Workload};
 
@@ -45,11 +50,23 @@ USAGE:
                   [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
                   [--ops 10000] [--seed 42] [--l2kb 512] [--progress 10]
                   [--out results/BENCH_sweep.json]
+                  [--trace FILE.jsonl] [--trace-capacity 4096]
                   Monte-Carlo sweep: statistics (mean/stddev/95% CI) over
                   seed-derived replicate fault maps, written as JSON.
   killi record    --out trace.ktrc [--workload fft] [--ops 100000] [--seed 42]
   killi replay    --in trace.ktrc  [--scheme killi] [--ratio 64] [--vdd 0.625]
   killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
+  killi stats     --in results/BENCH_sweep.json
+                  Per-scheme observability digest of a killi-sweep/v2
+                  report: DFH transitions and the error-induced vs
+                  ECC-cache-induced miss split.
+  killi trace     [--workload fft] [--scheme killi] [--ratio 64]
+                  [--vdd 0.625] [--ops 20000] [--seed 42] [--capacity 4096]
+                  [--out FILE.jsonl]
+                  Runs one traced simulation and emits the killi-obs/v1
+                  JSON-lines event trace (stdout unless --out).
+  killi trace     --check FILE.jsonl
+                  Validates a JSON-lines event trace (schema + line syntax).
 ";
 
 fn main() -> ExitCode {
@@ -69,7 +86,11 @@ fn main() -> ExitCode {
         Some("record") => cmd_record(&args),
         Some("replay") => cmd_replay(&args),
         Some("profile") => cmd_profile(&args),
-        Some(other) => Err(ArgError(format!("unknown command '{other}'"))),
+        Some("stats") => cmd_stats(&args),
+        Some("trace") => cmd_trace(&args),
+        Some(other) => Err(ArgError::UnknownCommand {
+            command: other.to_string(),
+        }),
         None => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -85,7 +106,7 @@ fn main() -> ExitCode {
 }
 
 fn cmd_coverage(args: &Args) -> Result<(), ArgError> {
-    let vdd = args.get_num("vdd", 0.6f64)?;
+    let vdd = args.flag_f64("vdd", 0.6)?;
     let model = CellFailureModel::finfet14();
     let c = coverage_at(&model, NormVdd(vdd));
     let mut t = Table::new(vec!["technique", "coverage"]);
@@ -111,7 +132,13 @@ fn cmd_area(args: &Args) -> Result<(), ArgError> {
         "dected" => checkbits::DECTED,
         "tecqed" => checkbits::TECQED,
         "6ec7ed" => checkbits::SIX_EC,
-        other => return Err(ArgError(format!("unknown code '{other}'"))),
+        other => {
+            return Err(ArgError::invalid(
+                "code",
+                other,
+                "one of secded, dected, tecqed, 6ec7ed",
+            ))
+        }
     };
     let m = AreaModel::paper();
     let killi = m.killi_bits(ratio, bits);
@@ -130,9 +157,9 @@ fn cmd_area(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_faultmap(args: &Args) -> Result<(), ArgError> {
-    let vdd = args.get_num("vdd", 0.625f64)?;
+    let vdd = args.flag_f64("vdd", 0.625)?;
     let lines: usize = args.get_num("lines", 32768)?;
-    let seed: u64 = args.get_num("seed", 42)?;
+    let seed = args.flag_u64("seed", 42)?;
     let model = CellFailureModel::finfet14();
     let map = FaultMap::build(lines, &model, NormVdd(vdd), FreqGhz::PEAK, seed);
     let measured = LineFaultDistribution::measured(&map);
@@ -159,22 +186,9 @@ fn cmd_faultmap(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn parse_workload(name: &str) -> Result<Workload, ArgError> {
-    Workload::ALL
-        .iter()
-        .copied()
-        .find(|w| w.name() == name)
-        .ok_or_else(|| {
-            let names: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
-            ArgError(format!(
-                "unknown workload '{name}' (choose from {})",
-                names.join(", ")
-            ))
-        })
-}
-
 fn parse_scheme(name: &str, ratio: usize) -> Result<SchemeSpec, ArgError> {
     Ok(match name {
+        "baseline" => SchemeSpec::Baseline,
         "killi" => SchemeSpec::Killi(ratio),
         "killi-dected" => SchemeSpec::KilliDected(ratio),
         "killi-invchk" => SchemeSpec::KilliInverted(ratio),
@@ -183,17 +197,24 @@ fn parse_scheme(name: &str, ratio: usize) -> Result<SchemeSpec, ArgError> {
         "flair" => SchemeSpec::Flair,
         "flair-online" => SchemeSpec::FlairOnline,
         "ms-ecc" => SchemeSpec::MsEcc,
-        other => return Err(ArgError(format!("unknown scheme '{other}'"))),
+        other => {
+            return Err(ArgError::invalid(
+                "scheme",
+                other,
+                "one of baseline, killi, killi-dected, killi-invchk, killi-olsc, \
+                 dected, flair, flair-online, ms-ecc",
+            ))
+        }
     })
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
-    let workload = parse_workload(&args.get_or("workload", "xsbench"))?;
+    let workload: Workload = args.flag_enum("workload", "xsbench")?;
     let ratio: usize = args.get_num("ratio", 64)?;
     let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
-    let vdd = args.get_num("vdd", 0.625f64)?;
+    let vdd = args.flag_f64("vdd", 0.625)?;
     let ops: usize = args.get_num("ops", 100_000)?;
-    let seed: u64 = args.get_num("seed", 42)?;
+    let seed = args.flag_u64("seed", 42)?;
 
     let mut config = MatrixConfig::paper(ops, seed);
     config.vdd = NormVdd(vdd);
@@ -220,24 +241,17 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn io_err(e: std::io::Error) -> ArgError {
-    ArgError(e.to_string())
-}
-
 fn cmd_record(args: &Args) -> Result<(), ArgError> {
-    let workload = parse_workload(&args.get_or("workload", "fft"))?;
+    let workload: Workload = args.flag_enum("workload", "fft")?;
     let ops: usize = args.get_num("ops", 100_000)?;
-    let seed: u64 = args.get_num("seed", 42)?;
-    let out = args.get_or("out", "");
-    if out.is_empty() {
-        return Err(ArgError("record needs --out <file>".into()));
-    }
+    let seed = args.flag_u64("seed", 42)?;
+    let out = args.require("out", "record")?;
     let trace = workload.trace(&TraceParams::paper(ops, seed));
-    let mut file = std::io::BufWriter::new(std::fs::File::create(&out).map_err(io_err)?);
-    killi_sim::tracefile::save(trace, &mut file).map_err(io_err)?;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&out)?);
+    killi_sim::tracefile::save(trace, &mut file)?;
     use std::io::Write as _;
-    file.flush().map_err(io_err)?;
-    let bytes = std::fs::metadata(&out).map_err(io_err)?.len();
+    file.flush()?;
+    let bytes = std::fs::metadata(&out)?.len();
     println!(
         "recorded {} ({} ops/CU x 8 CUs, seed {seed}) to {out} ({bytes} bytes)",
         workload.name(),
@@ -247,17 +261,14 @@ fn cmd_record(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), ArgError> {
-    let input = args.get_or("in", "");
-    if input.is_empty() {
-        return Err(ArgError("replay needs --in <file>".into()));
-    }
+    let input = args.require("in", "replay")?;
     let ratio: usize = args.get_num("ratio", 64)?;
     let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
-    let vdd = args.get_num("vdd", 0.625f64)?;
-    let seed: u64 = args.get_num("seed", 42)?;
+    let vdd = args.flag_f64("vdd", 0.625)?;
+    let seed = args.flag_u64("seed", 42)?;
 
-    let mut file = std::io::BufReader::new(std::fs::File::open(&input).map_err(io_err)?);
-    let trace = killi_sim::tracefile::load(&mut file).map_err(io_err)?;
+    let mut file = std::io::BufReader::new(std::fs::File::open(&input)?);
+    let trace = killi_sim::tracefile::load(&mut file)?;
     let config = GpuConfig {
         cus: trace.cus(),
         ..GpuConfig::default()
@@ -270,7 +281,7 @@ fn cmd_replay(args: &Args) -> Result<(), ArgError> {
         FreqGhz::PEAK,
         seed,
     ));
-    let protection = spec.build(&map, config.l2.lines(), config.l2.ways);
+    let protection = spec.build(&BuildCtx::new(Arc::clone(&map), config.l2));
     let mut sim = GpuSim::new(config, map, protection, seed);
     let stats = sim.run(trace);
     println!("replayed {input} under {} at {vdd} x VDD:", spec.label());
@@ -286,15 +297,15 @@ fn cmd_profile(args: &Args) -> Result<(), ArgError> {
     use killi_workloads::analysis::TraceProfile;
     let input = args.get_or("in", "");
     let profile = if input.is_empty() {
-        let workload = parse_workload(&args.get_or("workload", "fft"))?;
+        let workload: Workload = args.flag_enum("workload", "fft")?;
         let ops: usize = args.get_num("ops", 100_000)?;
-        let seed: u64 = args.get_num("seed", 42)?;
+        let seed = args.flag_u64("seed", 42)?;
         println!("profile of generated {} ({} ops/CU):", workload.name(), ops);
         TraceProfile::of(workload.trace(&TraceParams::paper(ops, seed)))
     } else {
-        let mut file = std::io::BufReader::new(std::fs::File::open(&input).map_err(io_err)?);
+        let mut file = std::io::BufReader::new(std::fs::File::open(&input)?);
         println!("profile of {input}:");
-        TraceProfile::of(killi_sim::tracefile::load(&mut file).map_err(io_err)?)
+        TraceProfile::of(killi_sim::tracefile::load(&mut file)?)
     };
     println!("  CUs                 {:>12}", profile.cus);
     println!("  operations          {:>12}", profile.ops);
@@ -317,33 +328,11 @@ fn cmd_profile(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// Parses a comma-separated flag value through `parse`, or `defaults`
-/// when the flag is absent.
-fn parse_list<T>(
-    args: &Args,
-    name: &str,
-    defaults: &str,
-    parse: impl Fn(&str) -> Result<T, ArgError>,
-) -> Result<Vec<T>, ArgError> {
-    let raw = args.get_or(name, defaults);
-    let items: Result<Vec<T>, ArgError> = raw
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(parse)
-        .collect();
-    let items = items?;
-    if items.is_empty() {
-        return Err(ArgError(format!("--{name} needs at least one value")));
-    }
-    Ok(items)
-}
-
 fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     let replications: usize = args.get_num("replications", 8)?;
     let ratio: usize = args.get_num("ratio", 64)?;
     let ops: usize = args.get_num("ops", 10_000)?;
-    let seed: u64 = args.get_num("seed", 42)?;
+    let seed = args.flag_u64("seed", 42)?;
     let threads: usize = args
         .get_num(
             "threads",
@@ -354,12 +343,13 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         .max(1);
     let l2_kb: usize = args.get_num("l2kb", 512)?;
     let out = args.get_or("out", "results/BENCH_sweep.json");
-    let vdds = parse_list(args, "vdds", "0.65,0.625,0.6", |s| {
-        s.parse::<f64>()
-            .map_err(|_| ArgError(format!("--vdds: '{s}' is not a number")))
+    let trace_out = args.get_or("trace", "");
+    let vdds = args.flag_f64_list("vdds", "0.65,0.625,0.6")?;
+    let workloads = args.flag_list("workloads", "xsbench,hacc", |s| {
+        s.parse::<Workload>()
+            .map_err(|e| ArgError::invalid("workloads", s, e.to_string()))
     })?;
-    let workloads = parse_list(args, "workloads", "xsbench,hacc", parse_workload)?;
-    let schemes = parse_list(args, "schemes", "killi", |s| parse_scheme(s, ratio))?;
+    let schemes = args.flag_list("schemes", "killi", |s| parse_scheme(s, ratio))?;
 
     let gpu = GpuConfig {
         l2: killi_sim::cache::CacheGeometry {
@@ -379,6 +369,11 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         gpu,
         threads,
         progress_every: args.get_num("progress", 10)?,
+        trace_capacity: if trace_out.is_empty() {
+            None
+        } else {
+            Some(args.get_num("trace-capacity", 4096)?)
+        },
     };
     eprintln!(
         "sweep: {} simulations ({} replications x {} vdds x {} schemes x {} workloads \
@@ -399,10 +394,218 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     println!("wall time: {:.1}s on {} threads", report.wall_secs, threads);
     if let Some(dir) = std::path::Path::new(&out).parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(io_err)?;
+            std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(&out, report.to_json()).map_err(io_err)?;
+    std::fs::write(&out, report.to_json())?;
     println!("wrote {out}");
+    if let Some(trace) = &report.trace {
+        std::fs::write(&trace_out, trace)?;
+        println!("wrote {trace_out}");
+    }
+    Ok(())
+}
+
+/// DFH state names in hardware-encoding order, for `killi stats` output.
+const DFH_NAMES: [&str; 4] = ["stable0", "unknown", "stable1", "disabled"];
+
+fn cmd_stats(args: &Args) -> Result<(), ArgError> {
+    let input = args.require("in", "stats")?;
+    let text = std::fs::read_to_string(&input)?;
+    let root = parse_json(&text).map_err(|e| ArgError::Io {
+        message: format!("{input}: {e}"),
+    })?;
+    // Accept both a single report and the json_array wrapper.
+    let reports: Vec<&JsonValue> = match root.as_array() {
+        Some(items) => items.iter().collect(),
+        None => vec![&root],
+    };
+
+    // Per-scheme aggregation across every cell of every report.
+    let mut order: Vec<String> = Vec::new();
+    let mut totals: std::collections::HashMap<String, [u64; 4]> = std::collections::HashMap::new();
+    let mut matrices: std::collections::HashMap<String, [[u64; 4]; 4]> =
+        std::collections::HashMap::new();
+    for report in &reports {
+        let schema = report.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+        if schema != "killi-sweep/v2" {
+            return Err(ArgError::Io {
+                message: format!(
+                    "{input}: schema '{schema}' is not killi-sweep/v2 (re-run the sweep \
+                     with this version to get the per-cell obs block)"
+                ),
+            });
+        }
+        let cells = report
+            .get("cells")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| ArgError::Io {
+                message: format!("{input}: report has no cells array"),
+            })?;
+        for cell in cells {
+            let scheme = cell
+                .get("scheme")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            let obs = match cell.get("obs") {
+                Some(o) => o,
+                None => continue,
+            };
+            let counter = |name: &str| {
+                obs.get("counters")
+                    .and_then(|c| c.get(name))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0)
+            };
+            if !totals.contains_key(&scheme) {
+                order.push(scheme.clone());
+            }
+            let t = totals.entry(scheme.clone()).or_default();
+            t[0] += counter("dfh_transitions");
+            t[1] += counter("error_induced_misses");
+            t[2] += counter("ecc_induced_misses");
+            t[3] += counter("corrections");
+            if let Some(rows) = obs.get("dfh_transitions").and_then(|v| v.as_array()) {
+                let m = matrices.entry(scheme).or_default();
+                for (i, row) in rows.iter().take(4).enumerate() {
+                    if let Some(cols) = row.as_array() {
+                        for (j, v) in cols.iter().take(4).enumerate() {
+                            m[i][j] += v.as_u64().unwrap_or(0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "observability digest of {input} ({} report(s)):",
+        reports.len()
+    );
+    let mut t = Table::new(vec![
+        "scheme",
+        "dfh transitions",
+        "error misses",
+        "ecc-induced misses",
+        "corrections",
+    ]);
+    for scheme in &order {
+        let v = totals[scheme];
+        t.row(vec![
+            scheme.clone(),
+            v[0].to_string(),
+            v[1].to_string(),
+            v[2].to_string(),
+            v[3].to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut any = false;
+    for scheme in &order {
+        let Some(m) = matrices.get(scheme) else {
+            continue;
+        };
+        let nonzero: Vec<String> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .filter(|&(i, j)| m[i][j] > 0)
+            .map(|(i, j)| format!("{} -> {}: {}", DFH_NAMES[i], DFH_NAMES[j], m[i][j]))
+            .collect();
+        if !nonzero.is_empty() {
+            any = true;
+            println!("{scheme} DFH transitions:");
+            for line in nonzero {
+                println!("  {line}");
+            }
+        }
+    }
+    if !any {
+        println!("(no DFH transitions recorded — schemes without DFH bits, or idle runs)");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), ArgError> {
+    if args.has("check") {
+        return check_trace(&args.require("check", "trace --check")?);
+    }
+    let workload: Workload = args.flag_enum("workload", "fft")?;
+    let ratio: usize = args.get_num("ratio", 64)?;
+    let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
+    let vdd = args.flag_f64("vdd", 0.625)?;
+    let ops: usize = args.get_num("ops", 20_000)?;
+    let seed = args.flag_u64("seed", 42)?;
+    let capacity: usize = args.get_num("capacity", 4096)?;
+    let out = args.get_or("out", "");
+
+    let gpu = GpuConfig::default();
+    let model = CellFailureModel::finfet14();
+    let map = if spec.is_baseline() {
+        Arc::new(FaultMap::fault_free(gpu.l2.lines()))
+    } else {
+        Arc::new(FaultMap::build(
+            gpu.l2.lines(),
+            &model,
+            NormVdd(vdd),
+            FreqGhz::PEAK,
+            seed,
+        ))
+    };
+    let obs = ObsConfig {
+        trace_capacity: Some(capacity),
+        context: vec![("vdd", format!("{vdd}"))],
+    };
+    let r = run_cell(workload, spec, &gpu, ops, &map, seed, &obs);
+    let trace = r.trace.expect("tracing was requested");
+    if out.is_empty() {
+        print!("{trace}");
+    } else {
+        std::fs::write(&out, &trace)?;
+        eprintln!(
+            "traced {}/{} at {vdd} x VDD: {} line(s) to {out}",
+            r.workload,
+            r.scheme,
+            trace.lines().count()
+        );
+    }
+    Ok(())
+}
+
+/// Validates a `killi-obs/v1` JSON-lines trace: every line parses, the
+/// header carries the schema, and events carry `seq`/`type`.
+fn check_trace(path: &str) -> Result<(), ArgError> {
+    let text = std::fs::read_to_string(path)?;
+    let bad = |line_no: usize, message: String| ArgError::Io {
+        message: format!("{path}:{line_no}: {message}"),
+    };
+    let mut headers = 0usize;
+    let mut events = 0usize;
+    let mut expect_header = true;
+    for (i, line) in text.lines().enumerate() {
+        let v = parse_json(line).map_err(|e| bad(i + 1, e.to_string()))?;
+        if expect_header || v.get("schema").is_some() {
+            let schema = v.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+            if schema != "killi-obs/v1" {
+                return Err(bad(i + 1, format!("bad or missing schema '{schema}'")));
+            }
+            headers += 1;
+            expect_header = false;
+            continue;
+        }
+        if v.get("seq").and_then(|s| s.as_u64()).is_none() {
+            return Err(bad(i + 1, "event line without a numeric 'seq'".into()));
+        }
+        if v.get("type").and_then(|s| s.as_str()).is_none() {
+            return Err(bad(i + 1, "event line without a 'type'".into()));
+        }
+        events += 1;
+    }
+    if headers == 0 {
+        return Err(ArgError::Io {
+            message: format!("{path}: empty trace (no killi-obs/v1 header)"),
+        });
+    }
+    println!("{path}: OK ({headers} header(s), {events} event(s))");
     Ok(())
 }

@@ -12,6 +12,7 @@
 use killi_ecc::bch::DectedCode;
 use killi_ecc::secded::SecdedCode;
 use killi_fault::map::LineId;
+use killi_obs::{Histogram, KilliEvent, Sink};
 
 /// Protection metadata stored in one ECC-cache entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +83,10 @@ pub struct EccCache {
     clock: u64,
     accesses: u64,
     evictions: u64,
+    /// Valid ways in the target set, sampled after every insert (always
+    /// on: one bucket increment per insert).
+    occupancy_hist: Histogram,
+    sink: Sink,
 }
 
 impl EccCache {
@@ -108,7 +113,19 @@ impl EccCache {
             clock: 0,
             accesses: 0,
             evictions: 0,
+            occupancy_hist: Histogram::new(),
+            sink: Sink::none(),
         }
+    }
+
+    /// Routes insert/promote/displace/invalidate events into `sink`.
+    pub fn attach_sink(&mut self, sink: Sink) {
+        self.sink = sink;
+    }
+
+    /// Per-set occupancy distribution, one sample per insert.
+    pub fn occupancy_histogram(&self) -> &Histogram {
+        &self.occupancy_hist
     }
 
     /// Total entries.
@@ -191,52 +208,78 @@ impl EccCache {
         self.accesses += 1;
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(self.set_of(l2_line));
-        // Replace an existing entry for the same line.
-        if let Some(e) = self.entries[range.clone()]
-            .iter_mut()
-            .find(|e| e.valid && e.l2_line == l2_line)
-        {
-            e.payload = payload;
-            e.lru = clock;
-            return None;
-        }
-        // Prefer an invalid way.
-        if let Some(e) = self.entries[range.clone()].iter_mut().find(|e| !e.valid) {
-            *e = Entry {
+        let set = self.set_of(l2_line);
+        let range = self.set_range(set);
+        let displaced = 'place: {
+            // Replace an existing entry for the same line.
+            if let Some(e) = self.entries[range.clone()]
+                .iter_mut()
+                .find(|e| e.valid && e.l2_line == l2_line)
+            {
+                e.payload = payload;
+                e.lru = clock;
+                break 'place None;
+            }
+            // Prefer an invalid way.
+            if let Some(e) = self.entries[range.clone()].iter_mut().find(|e| !e.valid) {
+                *e = Entry {
+                    valid: true,
+                    l2_line,
+                    payload,
+                    lru: clock,
+                };
+                break 'place None;
+            }
+            // Evict LRU; its L2 line loses protection.
+            let victim_idx = range
+                .clone()
+                .min_by_key(|&i| self.entries[i].lru)
+                .expect("nonempty set");
+            let displaced = (
+                self.entries[victim_idx].l2_line,
+                self.entries[victim_idx].payload,
+            );
+            self.entries[victim_idx] = Entry {
                 valid: true,
                 l2_line,
                 payload,
                 lru: clock,
             };
-            return None;
-        }
-        // Evict LRU; its L2 line loses protection.
-        let victim_idx = range
-            .clone()
-            .min_by_key(|&i| self.entries[i].lru)
-            .expect("nonempty set");
-        let displaced = (
-            self.entries[victim_idx].l2_line,
-            self.entries[victim_idx].payload,
-        );
-        self.entries[victim_idx] = Entry {
-            valid: true,
-            l2_line,
-            payload,
-            lru: clock,
+            self.evictions += 1;
+            Some(displaced)
         };
-        self.evictions += 1;
-        Some(displaced)
+        let occupancy = self.entries[self.set_range(set)]
+            .iter()
+            .filter(|e| e.valid)
+            .count();
+        self.occupancy_hist.observe_linear(occupancy as u64);
+        self.sink.emit(|| KilliEvent::EccInsert {
+            line: l2_line as u32,
+            set: set as u32,
+        });
+        if let Some((victim, _)) = displaced {
+            self.sink.emit(|| KilliEvent::EccDisplace {
+                line: l2_line as u32,
+                victim: victim as u32,
+            });
+        }
+        displaced
     }
 
     /// Removes the entry for `l2_line` (line classified `b'00` or evicted).
     pub fn invalidate(&mut self, l2_line: LineId) {
         let range = self.set_range(self.set_of(l2_line));
+        let mut removed = false;
         for e in &mut self.entries[range] {
             if e.valid && e.l2_line == l2_line {
                 e.valid = false;
+                removed = true;
             }
+        }
+        if removed {
+            self.sink.emit(|| KilliEvent::EccInvalidate {
+                line: l2_line as u32,
+            });
         }
     }
 
@@ -246,10 +289,17 @@ impl EccCache {
         self.clock += 1;
         let clock = self.clock;
         let range = self.set_range(self.set_of(l2_line));
+        let mut promoted = false;
         for e in &mut self.entries[range] {
             if e.valid && e.l2_line == l2_line {
                 e.lru = clock;
+                promoted = true;
             }
+        }
+        if promoted {
+            self.sink.emit(|| KilliEvent::EccPromote {
+                line: l2_line as u32,
+            });
         }
     }
 

@@ -18,7 +18,8 @@ use killi_ecc::olsc::{OlscDecode, OlscLine};
 use killi_ecc::parity::{seg16, seg4, SegObservation};
 use killi_ecc::secded::secded;
 use killi_fault::map::{FaultMap, LineId};
-use killi_sim::protection::{FillOutcome, LineProtection, ProtectionStats, ReadOutcome};
+use killi_obs::{Counter, Histogram, KilliEvent, MetricSet, Sink};
+use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 use crate::classify::{classify_stable0, classify_stable1, classify_unknown, Verdict};
 use crate::dfh::Dfh;
@@ -116,6 +117,9 @@ struct LineState {
     dected: bool,
     /// §5.6.1: the line holds dirty data under escalated protection.
     dirty_protected: bool,
+    /// Scheme-op index at which the line last entered `b'01` (training
+    /// latency measurement; all lines start training at op 0).
+    training_since: u64,
 }
 
 /// The Killi protection scheme.
@@ -134,6 +138,13 @@ pub struct KilliScheme {
     pending_displaced: Option<(LineId, EccPayload)>,
     /// §5.5: the OLSC codec, present in `olsc_mode`.
     olsc: Option<OlscLine>,
+    /// Observability handle (shared with the embedded ECC cache).
+    sink: Sink,
+    /// Scheme-op clock: one tick per fill/read-hit/evict hook, the time
+    /// base for training-latency measurements.
+    ops: u64,
+    /// Ops spent in `b'01` before classification (log2 buckets).
+    training_hist: Histogram,
 }
 
 impl KilliScheme {
@@ -155,6 +166,9 @@ impl KilliScheme {
             transitions: [[0; 4]; 4],
             pending_displaced: None,
             olsc: config.olsc_mode.then(|| OlscLine::new(8, 2)),
+            sink: Sink::none(),
+            ops: 0,
+            training_hist: Histogram::new(),
         }
     }
 
@@ -202,6 +216,18 @@ impl KilliScheme {
         if cur != next {
             self.transitions[cur.bits() as usize][next.bits() as usize] += 1;
             self.states[line].dfh = next;
+            if cur == Dfh::Unknown {
+                let since = self.states[line].training_since;
+                self.training_hist.observe_log2(self.ops - since);
+            }
+            if next == Dfh::Unknown {
+                self.states[line].training_since = self.ops;
+            }
+            self.sink.emit(|| KilliEvent::DfhTransition {
+                line: line as u32,
+                from: cur.bits(),
+                to: next.bits(),
+            });
         }
     }
 
@@ -223,7 +249,25 @@ impl KilliScheme {
         let stored_p16 = (parity_hi << 4) | u16::from(self.states[line].parity4 & 0xF);
         let seg = SegObservation::observe16(stored_p16, seg16(stored));
         let ecc = secded().observe(stored, code);
-        (seg, ecc, secded().interpret(ecc))
+        let dec = secded().interpret(ecc);
+        self.sink.emit(|| KilliEvent::ParityObservation {
+            line: line as u32,
+            mismatch: !matches!(seg, SegObservation::Match),
+        });
+        self.sink.emit(|| KilliEvent::SyndromeObservation {
+            line: line as u32,
+            corrected: matches!(
+                dec,
+                killi_ecc::secded::SecdedDecode::CorrectedData { .. }
+                    | killi_ecc::secded::SecdedDecode::CorrectedCheck
+            ),
+            detected: matches!(
+                dec,
+                killi_ecc::secded::SecdedDecode::DetectedDouble
+                    | killi_ecc::secded::SecdedDecode::DetectedUncorrectable
+            ),
+        });
+        (seg, ecc, dec)
     }
 
     /// Applies a verdict reached on the read/evict path of a `b'01` or
@@ -341,8 +385,12 @@ impl LineProtection for KilliScheme {
 
     fn reset(&mut self) {
         // Voltage change / reboot: relearn everything (§2.4).
+        let now = self.ops;
         for s in &mut self.states {
-            *s = LineState::default();
+            *s = LineState {
+                training_since: now,
+                ..LineState::default()
+            };
         }
         self.ecc.clear();
     }
@@ -367,10 +415,13 @@ impl LineProtection for KilliScheme {
     }
 
     fn on_fill(&mut self, line: LineId, data: &Line512) -> FillOutcome {
+        self.ops += 1;
         let mut outcome = FillOutcome::default();
         self.states[line].dirty_protected = false; // a fill installs clean data
         let mut dfh = self.states[line].dfh;
-        debug_assert!(dfh.usable(), "fill into a disabled line");
+        // The L2 never picks a disabled victim (victim_class is None), but
+        // direct callers may still probe: the Disabled arm below rejects
+        // the fill gracefully rather than asserting.
 
         if dfh == Dfh::Unknown && self.config.inverted_write_check {
             outcome.extra_cycles += self.config.inverted_check_penalty;
@@ -472,6 +523,7 @@ impl LineProtection for KilliScheme {
     }
 
     fn on_read_hit(&mut self, line: LineId, stored: &mut Line512) -> ReadOutcome {
+        self.ops += 1;
         if self.states[line].dirty_protected && self.states[line].dfh == Dfh::Stable0 {
             // §5.6.1 dirty b'00 line: SECDED checkbits back the parity.
             if let Some(EccPayload::Secded { code, .. }) = self.ecc.lookup(line) {
@@ -505,6 +557,10 @@ impl LineProtection for KilliScheme {
         match self.states[line].dfh {
             Dfh::Stable0 => {
                 let obs = SegObservation::observe4(self.states[line].parity4, seg4(stored));
+                self.sink.emit(|| KilliEvent::ParityObservation {
+                    line: line as u32,
+                    mismatch: !matches!(obs, SegObservation::Match),
+                });
                 match classify_stable0(obs) {
                     Verdict::SendClean { .. } => ReadOutcome::Clean {
                         extra_cycles: 0,
@@ -631,6 +687,10 @@ impl LineProtection for KilliScheme {
                     }
                     EccPayload::Secded { code, .. } => {
                         let seg = SegObservation::observe4(self.states[line].parity4, seg4(stored));
+                        self.sink.emit(|| KilliEvent::ParityObservation {
+                            line: line as u32,
+                            mismatch: !matches!(seg, SegObservation::Match),
+                        });
                         let ecc = secded().observe(stored, code);
                         let dec = secded().interpret(ecc);
                         let verdict = classify_stable1(seg, ecc, dec);
@@ -689,6 +749,7 @@ impl LineProtection for KilliScheme {
     }
 
     fn on_evict(&mut self, line: LineId, stored: &Line512) {
+        self.ops += 1;
         match self.states[line].dfh {
             Dfh::Unknown => {
                 if self.config.eviction_training {
@@ -745,27 +806,36 @@ impl LineProtection for KilliScheme {
         self.config.check_latency
     }
 
-    fn protection_stats(&self) -> ProtectionStats {
-        ProtectionStats {
-            disabled_lines: self
-                .states
+    fn attach_sink(&mut self, sink: Sink) {
+        self.ecc.attach_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        m.set(
+            Counter::DisabledLines,
+            self.states
                 .iter()
                 .filter(|s| s.dfh == Dfh::Disabled)
                 .count() as u64,
-            corrections: self.corrections,
-            detections: self.detections,
-            ecc_cache_accesses: self.ecc.accesses(),
-            ecc_cache_evictions: self.ecc.evictions(),
-            dfh_census: Some({
-                let census = self.dfh_census();
-                [
-                    census[0] as u64,
-                    census[1] as u64,
-                    census[2] as u64,
-                    census[3] as u64,
-                ]
-            }),
-        }
+        );
+        m.set(Counter::Corrections, self.corrections);
+        m.set(Counter::Detections, self.detections);
+        m.set(Counter::EccCacheAccesses, self.ecc.accesses());
+        m.set(Counter::EccCacheDisplacements, self.ecc.evictions());
+        m.dfh_transitions = self.transitions;
+        m.set(Counter::DfhTransitions, m.total_transitions());
+        let census = self.dfh_census();
+        m.dfh_census = Some([
+            census[0] as u64,
+            census[1] as u64,
+            census[2] as u64,
+            census[3] as u64,
+        ]);
+        m.ecc_occupancy = *self.ecc.occupancy_histogram();
+        m.training_latency_ops = self.training_hist;
+        m
     }
 }
 

@@ -1,0 +1,162 @@
+//! The typed event taxonomy emitted by the simulator stack.
+//!
+//! Lines are identified by their raw index so the crate stays
+//! dependency-free; emitters convert from their own `LineId` newtypes.
+//! DFH states use the paper's 2-bit encoding (0 = Stable0, 1 = Unknown,
+//! 2 = Stable1, 3 = Disabled).
+
+/// One observable occurrence inside a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KilliEvent {
+    /// A line's DFH field changed state.
+    DfhTransition { line: u32, from: u8, to: u8 },
+    /// A segment-parity check ran on a read hit (`mismatch` = at least
+    /// one segment disagreed with its stored parity).
+    ParityObservation { line: u32, mismatch: bool },
+    /// A SECDED/DECTED syndrome was evaluated for a training line.
+    SyndromeObservation {
+        line: u32,
+        corrected: bool,
+        detected: bool,
+    },
+    /// A new entry was installed in the ECC cache.
+    EccInsert { line: u32, set: u32 },
+    /// An existing ECC-cache entry was refreshed/promoted by reuse.
+    EccPromote { line: u32 },
+    /// Inserting `line` displaced `victim` from the ECC cache.
+    EccDisplace { line: u32, victim: u32 },
+    /// An ECC-cache entry was dropped (its L2 line left training).
+    EccInvalidate { line: u32 },
+    /// A read hit was turned into a miss by an uncorrectable error.
+    ErrorMiss { line: u32 },
+    /// A live L2 line was invalidated because its ECC-cache entry was
+    /// displaced (the paper's "ECC-cache-induced miss").
+    EccInducedMiss { line: u32 },
+    /// The replacement policy chose a victim; `class` is the DFH-derived
+    /// victim priority class, `valid` whether the way held live data.
+    VictimDecision { line: u32, class: u8, valid: bool },
+    /// A fill was refused by the protection scheme (line unusable).
+    FillRejected { line: u32 },
+}
+
+impl KilliEvent {
+    /// Stable snake_case tag used in the JSON-lines export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            KilliEvent::DfhTransition { .. } => "dfh_transition",
+            KilliEvent::ParityObservation { .. } => "parity_observation",
+            KilliEvent::SyndromeObservation { .. } => "syndrome_observation",
+            KilliEvent::EccInsert { .. } => "ecc_insert",
+            KilliEvent::EccPromote { .. } => "ecc_promote",
+            KilliEvent::EccDisplace { .. } => "ecc_displace",
+            KilliEvent::EccInvalidate { .. } => "ecc_invalidate",
+            KilliEvent::ErrorMiss { .. } => "error_miss",
+            KilliEvent::EccInducedMiss { .. } => "ecc_induced_miss",
+            KilliEvent::VictimDecision { .. } => "victim_decision",
+            KilliEvent::FillRejected { .. } => "fill_rejected",
+        }
+    }
+
+    /// The line the event is about.
+    pub fn line(&self) -> u32 {
+        match *self {
+            KilliEvent::DfhTransition { line, .. }
+            | KilliEvent::ParityObservation { line, .. }
+            | KilliEvent::SyndromeObservation { line, .. }
+            | KilliEvent::EccInsert { line, .. }
+            | KilliEvent::EccPromote { line }
+            | KilliEvent::EccDisplace { line, .. }
+            | KilliEvent::EccInvalidate { line }
+            | KilliEvent::ErrorMiss { line }
+            | KilliEvent::EccInducedMiss { line }
+            | KilliEvent::VictimDecision { line, .. }
+            | KilliEvent::FillRejected { line } => line,
+        }
+    }
+
+    /// Appends the event-specific JSON fields (after `"type"`/`"line"`)
+    /// to `out`. Keys are emitted in a fixed order so exports are
+    /// byte-deterministic.
+    pub fn write_json_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            KilliEvent::DfhTransition { from, to, .. } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+            }
+            KilliEvent::ParityObservation { mismatch, .. } => {
+                let _ = write!(out, ",\"mismatch\":{mismatch}");
+            }
+            KilliEvent::SyndromeObservation {
+                corrected,
+                detected,
+                ..
+            } => {
+                let _ = write!(out, ",\"corrected\":{corrected},\"detected\":{detected}");
+            }
+            KilliEvent::EccInsert { set, .. } => {
+                let _ = write!(out, ",\"set\":{set}");
+            }
+            KilliEvent::EccDisplace { victim, .. } => {
+                let _ = write!(out, ",\"victim\":{victim}");
+            }
+            KilliEvent::VictimDecision { class, valid, .. } => {
+                let _ = write!(out, ",\"class\":{class},\"valid\":{valid}");
+            }
+            KilliEvent::EccPromote { .. }
+            | KilliEvent::EccInvalidate { .. }
+            | KilliEvent::ErrorMiss { .. }
+            | KilliEvent::EccInducedMiss { .. }
+            | KilliEvent::FillRejected { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique_and_snake_case() {
+        let events = [
+            KilliEvent::DfhTransition {
+                line: 1,
+                from: 1,
+                to: 2,
+            },
+            KilliEvent::ParityObservation {
+                line: 1,
+                mismatch: true,
+            },
+            KilliEvent::SyndromeObservation {
+                line: 1,
+                corrected: false,
+                detected: true,
+            },
+            KilliEvent::EccInsert { line: 1, set: 0 },
+            KilliEvent::EccPromote { line: 1 },
+            KilliEvent::EccDisplace { line: 1, victim: 2 },
+            KilliEvent::EccInvalidate { line: 1 },
+            KilliEvent::ErrorMiss { line: 1 },
+            KilliEvent::EccInducedMiss { line: 1 },
+            KilliEvent::VictimDecision {
+                line: 1,
+                class: 3,
+                valid: true,
+            },
+            KilliEvent::FillRejected { line: 1 },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len(), "duplicate event kind tags");
+        for k in kinds {
+            assert!(k.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn line_accessor_covers_every_variant() {
+        assert_eq!(KilliEvent::EccDisplace { line: 7, victim: 9 }.line(), 7);
+        assert_eq!(KilliEvent::ErrorMiss { line: 42 }.line(), 42);
+    }
+}

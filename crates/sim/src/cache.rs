@@ -12,6 +12,7 @@ use std::sync::Arc;
 use killi_ecc::bits::Line512;
 use killi_fault::map::{FaultMap, LineId};
 use killi_fault::soft::SoftErrorInjector;
+use killi_obs::{KilliEvent, Sink};
 
 use crate::mem::MainMemory;
 use crate::protection::{LineProtection, ReadOutcome};
@@ -193,6 +194,7 @@ pub struct L2Cache {
     map: Arc<FaultMap>,
     protection: Box<dyn LineProtection>,
     soft: SoftErrorInjector,
+    sink: Sink,
     /// L2-side counters (merged into the run's [`SimStats`]).
     pub stats: SimStats,
 }
@@ -238,8 +240,16 @@ impl L2Cache {
             map,
             protection,
             soft: SoftErrorInjector::disabled(),
+            sink: Sink::none(),
             stats: SimStats::default(),
         }
+    }
+
+    /// Routes cache-level events into `sink` and hands the protection
+    /// scheme a clone so both layers share one trace/op-clock.
+    pub fn attach_sink(&mut self, sink: Sink) {
+        self.protection.attach_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// Sets the store-handling policy.
@@ -364,6 +374,9 @@ impl L2Cache {
                 return; // salvaged: verified and re-protected in place
             }
             self.stats.ecc_induced_invalidations += 1;
+            self.sink.emit(|| KilliEvent::EccInducedMiss {
+                line: victim as u32,
+            });
             self.retire_dirty(victim);
             self.valid[victim] = false;
         }
@@ -392,8 +405,14 @@ impl L2Cache {
                 return (0, None); // whole set disabled: serve from memory
             };
             let id = self.geom.line_id(set, way);
+            let was_valid = self.valid[id];
             self.invalidate_line(id, true); // train on eviction if it held data
-            if self.protection.victim_class(id).is_some() {
+            if let Some(class) = self.protection.victim_class(id) {
+                self.sink.emit(|| KilliEvent::VictimDecision {
+                    line: id as u32,
+                    class,
+                    valid: was_valid,
+                });
                 break id;
             }
         };
@@ -407,6 +426,8 @@ impl L2Cache {
         }
         if !outcome.accepted {
             self.stats.l2_bypasses += 1;
+            self.sink
+                .emit(|| KilliEvent::FillRejected { line: id as u32 });
             return (outcome.extra_cycles, None);
         }
         let mut stored = intended;
@@ -457,6 +478,7 @@ impl L2Cache {
                 ReadOutcome::ErrorMiss { extra_cycles } => {
                     latency += self.data_latency + extra_cycles;
                     self.stats.l2_error_misses += 1;
+                    self.sink.emit(|| KilliEvent::ErrorMiss { line: id as u32 });
                     if self.dirty[id] {
                         // The only valid copy was corrupt: real data loss.
                         // (The refetch below returns the architecturally

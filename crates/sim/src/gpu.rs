@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use killi_fault::map::FaultMap;
+use killi_obs::Sink;
 
 use crate::cache::{CacheGeometry, L2Cache, TagCache, WritePolicy};
 use crate::mem::MainMemory;
@@ -93,6 +94,7 @@ pub struct GpuSim {
     config: GpuConfig,
     l2: L2Cache,
     mem: MainMemory,
+    sink: Sink,
 }
 
 impl GpuSim {
@@ -120,12 +122,22 @@ impl GpuSim {
             config,
             l2,
             mem: MainMemory::new(mem_seed, config.mem_latency),
+            sink: Sink::none(),
         }
     }
 
     /// Mutable access to the L2 (to enable soft errors, etc.) before a run.
     pub fn l2_mut(&mut self) -> &mut L2Cache {
         &mut self.l2
+    }
+
+    /// Attaches an observability sink for the whole hierarchy: the
+    /// driver advances its op clock, and the L2 and protection scheme
+    /// emit events into it. The default no-op sink costs one branch per
+    /// op and changes no simulation behaviour.
+    pub fn attach_sink(&mut self, sink: Sink) {
+        self.l2.attach_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// Runs the trace to completion and returns the merged statistics.
@@ -169,6 +181,7 @@ impl GpuSim {
                 cus[cu].done = true;
                 continue;
             };
+            self.sink.tick();
             let state = &mut cus[cu];
             match op {
                 TraceOp::Compute(n) => {

@@ -43,3 +43,16 @@ pub use gpu::{GpuConfig, GpuSim};
 pub use protection::{FillOutcome, LineProtection, ProtectionStats, ReadOutcome};
 pub use stats::SimStats;
 pub use trace::{Trace, TraceOp};
+
+/// One-stop imports for implementing or driving a protection scheme:
+/// the trait, its outcome types, the cache geometry, and the
+/// observability vocabulary it speaks.
+pub mod prelude {
+    pub use crate::cache::{CacheGeometry, WritePolicy};
+    pub use crate::gpu::{GpuConfig, GpuSim};
+    pub use crate::protection::{
+        FillOutcome, LineProtection, ProtectionStats, ReadOutcome, Unprotected,
+    };
+    pub use crate::stats::SimStats;
+    pub use killi_obs::{Counter, KilliEvent, MetricSet, Sink};
+}

@@ -7,6 +7,7 @@
 
 use killi_ecc::bits::Line512;
 use killi_fault::map::LineId;
+use killi_obs::{Counter, MetricSet, Sink};
 
 /// Result of a fill-time hook.
 #[derive(Debug, Clone)]
@@ -69,6 +70,22 @@ pub struct ProtectionStats {
     pub dfh_census: Option<[u64; 4]>,
 }
 
+impl ProtectionStats {
+    /// Projects the legacy flat counters out of a [`MetricSet`] — the
+    /// bridge that lets `protection_stats()` be a default method on top
+    /// of the richer `metrics()` snapshot.
+    pub fn from_metrics(m: &MetricSet) -> Self {
+        ProtectionStats {
+            disabled_lines: m.get(Counter::DisabledLines),
+            corrections: m.get(Counter::Corrections),
+            detections: m.get(Counter::Detections),
+            ecc_cache_accesses: m.get(Counter::EccCacheAccesses),
+            ecc_cache_evictions: m.get(Counter::EccCacheDisplacements),
+            dfh_census: m.dfh_census,
+        }
+    }
+}
+
 /// Protection-scheme hooks invoked by the L2 cache model.
 ///
 /// `LineId` identifies a *physical* line (`set * ways + way`); per-line
@@ -128,8 +145,25 @@ pub trait LineProtection {
         0
     }
 
-    /// Scheme counters.
-    fn protection_stats(&self) -> ProtectionStats;
+    /// Hands the scheme an observability [`Sink`] to emit events
+    /// through. Default: ignore it, so stateless schemes like
+    /// [`Unprotected`] opt out without boilerplate.
+    fn attach_sink(&mut self, sink: Sink) {
+        let _ = sink;
+    }
+
+    /// Snapshot of the scheme's metric registry. This is the primary
+    /// reporting path; schemes fill in the counters they own (disabled
+    /// lines, corrections, DFH transition matrix, …). Default: empty.
+    fn metrics(&self) -> MetricSet {
+        MetricSet::new()
+    }
+
+    /// Legacy flat counters, derived from [`LineProtection::metrics`].
+    /// Kept as the stable accessor for existing reports and tests.
+    fn protection_stats(&self) -> ProtectionStats {
+        ProtectionStats::from_metrics(&self.metrics())
+    }
 }
 
 /// The trivial scheme of the fault-free nominal-voltage baseline: no
@@ -169,10 +203,6 @@ impl LineProtection for Unprotected {
     }
 
     fn on_evict(&mut self, _line: LineId, _stored: &Line512) {}
-
-    fn protection_stats(&self) -> ProtectionStats {
-        ProtectionStats::default()
-    }
 }
 
 #[cfg(test)]

@@ -104,6 +104,16 @@ impl Workload {
         }
     }
 
+    /// The comma-separated list of every workload name (for error
+    /// messages and CLI help).
+    pub fn all_names() -> String {
+        Self::ALL
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
     /// Expected Figure 5 bucket: true for the MPKI > 100 (memory-bound)
     /// plot.
     pub fn is_memory_bound(&self) -> bool {
@@ -152,6 +162,34 @@ impl Workload {
 
     fn id(&self) -> u64 {
         Workload::ALL.iter().position(|w| w == self).unwrap() as u64 * 0x1234_5677
+    }
+}
+
+/// The error of an unrecognized workload name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload(pub String);
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "a known workload (choose from {})",
+            Workload::all_names()
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+impl std::str::FromStr for Workload {
+    type Err = UnknownWorkload;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Workload::ALL
+            .iter()
+            .copied()
+            .find(|w| w.name() == s)
+            .ok_or_else(|| UnknownWorkload(s.to_string()))
     }
 }
 

@@ -9,7 +9,9 @@
 //! - [`core`] — the Killi mechanism itself (DFH classification + ECC cache),
 //! - [`baselines`] — DECTED / FLAIR / MS-ECC / SECDED comparison schemes,
 //! - [`workloads`] — synthetic GPGPU trace generators,
-//! - [`model`] — analytic coverage, area and power models.
+//! - [`model`] — analytic coverage, area and power models,
+//! - [`obs`] — typed event/metrics observability layer,
+//! - [`bench`] — experiment runner and Monte-Carlo sweep engine.
 //!
 //! # Quickstart
 //!
@@ -24,8 +26,10 @@
 
 pub use killi as core;
 pub use killi_baselines as baselines;
+pub use killi_bench as bench;
 pub use killi_ecc as ecc;
 pub use killi_fault as fault;
 pub use killi_model as model;
+pub use killi_obs as obs;
 pub use killi_sim as sim;
 pub use killi_workloads as workloads;
