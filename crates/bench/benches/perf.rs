@@ -1,0 +1,19 @@
+//! `cargo bench --bench perf` — the sweep hot-path before/after suite
+//! (`killi bench` exposes the same measurements with JSON output).
+//!
+//! Runs the quick configuration by default; pass `--full` for the
+//! default sweep configuration (`cargo bench --bench perf -- --full`).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let report = killi_bench::perf::run_perf_suite(!full);
+    println!(
+        "sweep hot-path benchmarks ({}):\n{}",
+        if full {
+            "default sweep configuration"
+        } else {
+            "quick configuration"
+        },
+        report.summary_table().render()
+    );
+}

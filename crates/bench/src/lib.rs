@@ -9,7 +9,9 @@
 //! - [`experiments`] — one function per paper figure/table,
 //! - [`empirical`] — Monte-Carlo validation of the §5.3 coverage algebra,
 //! - [`report`] — text-table rendering,
-//! - [`timing`] — the in-repo micro-benchmark harness for `benches/`.
+//! - [`timing`] — the in-repo micro-benchmark harness for `benches/`,
+//! - [`perf`] — the `killi bench` before/after suite for the sweep hot
+//!   path (fault-map build, single simulation, full sweep).
 //!
 //! Binaries: `fig1`, `fig2`, `fig4`, `fig5`, `fig6`, `table4`..`table7`,
 //! `ablation`, and `repro` (runs everything, writing `results/*.txt`).
@@ -18,6 +20,7 @@
 pub mod empirical;
 pub mod exec;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod schemes;

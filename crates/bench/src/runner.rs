@@ -94,6 +94,38 @@ pub fn run_cell(
     trace_seed: u64,
     obs: &ObsConfig,
 ) -> RunResult {
+    let params = TraceParams {
+        cus: gpu.cus,
+        ops_per_cu,
+        seed: trace_seed,
+        l2_bytes: gpu.l2.size_bytes,
+    };
+    run_cell_traced(
+        workload,
+        spec,
+        gpu,
+        workload.trace(&params),
+        map,
+        trace_seed,
+        obs,
+    )
+}
+
+/// [`run_cell`] with the workload trace supplied by the caller, so one
+/// generated op buffer (see `Workload::ops` + `Trace::from_shared`) can
+/// feed every scheme cell that replays the same (workload, seed). The
+/// trace must be the one `workload` generates for `trace_seed` with the
+/// cell's geometry — `trace_seed` still seeds the simulator's soft-error
+/// process and is stamped into the exported event trace.
+pub fn run_cell_traced(
+    workload: Workload,
+    spec: SchemeSpec,
+    gpu: &GpuConfig,
+    trace: killi_sim::trace::Trace,
+    map: &Arc<FaultMap>,
+    trace_seed: u64,
+    obs: &ObsConfig,
+) -> RunResult {
     let sink = match obs.trace_capacity {
         Some(capacity) => Sink::recording(capacity),
         None => Sink::none(),
@@ -102,13 +134,7 @@ pub fn run_cell(
     let protection = spec.build(&ctx);
     let mut sim = GpuSim::new(*gpu, Arc::clone(map), protection, trace_seed);
     sim.attach_sink(sink.clone());
-    let params = TraceParams {
-        cus: gpu.cus,
-        ops_per_cu,
-        seed: trace_seed,
-        l2_bytes: gpu.l2.size_bytes,
-    };
-    let stats = sim.run(workload.trace(&params));
+    let stats = sim.run(trace);
     let mut metrics = sim.l2().protection().metrics();
     // The miss split is owned by the L2 model, not the scheme: fold it in
     // here so a cell's MetricSet is self-contained.

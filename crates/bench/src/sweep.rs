@@ -22,17 +22,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
-use killi_fault::map::FaultMap;
+use killi_fault::map::{DieFaultTable, FaultMap};
 use killi_fault::rng::derive_seed;
 use killi_sim::gpu::GpuConfig;
 use killi_sim::stats::SimStats;
-use killi_workloads::Workload;
+use killi_sim::trace::{Trace, TraceOp};
+use killi_workloads::{TraceParams, Workload};
 
 use killi_obs::MetricSet;
 
 use crate::exec::{par_map, Progress};
 use crate::report::Table;
-use crate::runner::{run_cell, ObsConfig};
+use crate::runner::{run_cell, run_cell_traced, ObsConfig};
 use crate::schemes::SchemeSpec;
 
 /// Streaming mean/variance accumulator (Welford's algorithm): numerically
@@ -264,30 +265,101 @@ enum Job {
     },
 }
 
-/// Runs the sweep: builds per-(voltage, replicate) fault maps in
-/// parallel, fans the cross-product out, then folds the results into
-/// per-cell statistics in deterministic replicate order.
+/// Which artifact strategy a sweep run uses (see [`run_sweep`] and
+/// [`run_sweep_reference`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArtifactMode {
+    /// Fault maps memoized per (replicate, vdd) through a per-die sparse
+    /// candidate table; trace op buffers generated once per
+    /// (workload, replicate) and shared across scheme cells via `Arc`.
+    Shared,
+    /// Every job rebuilds its fault map with the dense per-cell
+    /// construction and regenerates its trace from scratch.
+    PerJob,
+}
+
+/// Runs the sweep with shared artifacts: one sparse [`DieFaultTable`] per
+/// replicate (hashed once at the grid's lowest voltage) derives the fault
+/// map of every (voltage, replicate) pair, and each (workload, replicate)
+/// op buffer is generated once and replayed by every scheme cell. The
+/// report and optional event trace are byte-identical to
+/// [`run_sweep_reference`] at any thread count (regression-tested).
 pub fn run_sweep(config: &SweepConfig) -> SweepReport {
+    run_sweep_mode(config, ArtifactMode::Shared)
+}
+
+/// The unshared reference path: every job pays the full dense fault-map
+/// construction and trace generation. Kept as the byte-identity oracle
+/// for [`run_sweep`] and as the "before" side of the perf benchmark
+/// suite (`killi bench`).
+pub fn run_sweep_reference(config: &SweepConfig) -> SweepReport {
+    run_sweep_mode(config, ArtifactMode::PerJob)
+}
+
+fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
     let started = Instant::now();
     let lines = config.gpu.l2.lines();
     let model = CellFailureModel::finfet14();
     let reps = config.replications.max(1);
 
-    // Phase 1: fault maps. maps[v * reps + rep]; one die per replicate,
-    // shared across the voltage grid.
-    let map_keys: Vec<(usize, usize)> = (0..config.vdds.len())
-        .flat_map(|v| (0..reps).map(move |rep| (v, rep)))
-        .collect();
-    let maps: Vec<Arc<FaultMap>> = par_map(config.threads, &map_keys, None, |_, &(v, rep)| {
-        Arc::new(FaultMap::build_replicate(
-            lines,
-            &model,
-            NormVdd(config.vdds[v]),
-            FreqGhz::PEAK,
-            config.root_seed,
-            rep as u64,
-        ))
-    });
+    let trace_seed = |w: usize, rep: usize| {
+        // Key traces by the workload's stable identity, not its position
+        // in this sweep's subset, so partial sweeps replay full-sweep
+        // traffic exactly.
+        let workload_id = Workload::ALL
+            .iter()
+            .position(|&x| x == config.workloads[w])
+            .expect("workload in ALL") as u64;
+        derive_seed(config.root_seed, "trace", &[workload_id, rep as u64])
+    };
+    let trace_params = |w: usize, rep: usize| TraceParams {
+        cus: config.gpu.cus,
+        ops_per_cu: config.ops_per_cu,
+        seed: trace_seed(w, rep),
+        l2_bytes: config.gpu.l2.size_bytes,
+    };
+
+    // Phase 1: shared artifacts. maps[v * reps + rep]: one die per
+    // replicate (the *same* die across the voltage grid), hashed once per
+    // die at the grid's lowest voltage and filtered per operating point.
+    // traces[w * reps + rep]: one op buffer per (workload, replicate),
+    // replayed by the baseline and every scheme cell.
+    type SharedOps = Arc<Vec<Vec<TraceOp>>>;
+    let (maps, traces): (Vec<Arc<FaultMap>>, Vec<SharedOps>) = match mode {
+        ArtifactMode::Shared => {
+            let maps = if config.vdds.is_empty() {
+                Vec::new()
+            } else {
+                let cap_vdd = config.vdds.iter().cloned().fold(f64::INFINITY, f64::min);
+                let rep_keys: Vec<usize> = (0..reps).collect();
+                let tables: Vec<Arc<DieFaultTable>> =
+                    par_map(config.threads, &rep_keys, None, |_, &rep| {
+                        Arc::new(DieFaultTable::build_replicate(
+                            lines,
+                            &model,
+                            NormVdd(cap_vdd),
+                            FreqGhz::PEAK,
+                            config.root_seed,
+                            rep as u64,
+                        ))
+                    });
+                let map_keys: Vec<(usize, usize)> = (0..config.vdds.len())
+                    .flat_map(|v| (0..reps).map(move |rep| (v, rep)))
+                    .collect();
+                par_map(config.threads, &map_keys, None, |_, &(v, rep)| {
+                    Arc::new(tables[rep].fault_map_at(&model, NormVdd(config.vdds[v])))
+                })
+            };
+            let trace_keys: Vec<(usize, usize)> = (0..config.workloads.len())
+                .flat_map(|w| (0..reps).map(move |rep| (w, rep)))
+                .collect();
+            let traces = par_map(config.threads, &trace_keys, None, |_, &(w, rep)| {
+                Arc::new(config.workloads[w].ops(&trace_params(w, rep)))
+            });
+            (maps, traces)
+        }
+        ArtifactMode::PerJob => (Vec::new(), Vec::new()),
+    };
     let free_map = Arc::new(FaultMap::fault_free(lines));
 
     // Phase 2: simulations. Baselines first (workload-major), then cells
@@ -308,51 +380,55 @@ pub fn run_sweep(config: &SweepConfig) -> SweepReport {
         }
     }
 
-    let trace_seed = |w: usize, rep: usize| {
-        // Key traces by the workload's stable identity, not its position
-        // in this sweep's subset, so partial sweeps replay full-sweep
-        // traffic exactly.
-        let workload_id = Workload::ALL
-            .iter()
-            .position(|&x| x == config.workloads[w])
-            .expect("workload in ALL") as u64;
-        derive_seed(config.root_seed, "trace", &[workload_id, rep as u64])
-    };
-
     let progress = Progress::new("sweep", jobs.len(), config.progress_every);
     let results = par_map(config.threads, &jobs, Some(&progress), |_, &job| {
-        let (workload, spec, map, rep, vdd) = match job {
-            Job::Baseline { w, rep } => (
-                config.workloads[w],
-                SchemeSpec::Baseline,
-                &free_map,
-                rep,
-                1.0,
-            ),
-            Job::Cell { v, s, w, rep } => (
-                config.workloads[w],
-                config.schemes[s],
-                &maps[v * reps + rep],
-                rep,
-                config.vdds[v],
-            ),
+        let (w, rep, spec, vdd) = match job {
+            Job::Baseline { w, rep } => (w, rep, SchemeSpec::Baseline, 1.0),
+            Job::Cell { v, s, w, rep } => (w, rep, config.schemes[s], config.vdds[v]),
         };
-        let w = match job {
-            Job::Baseline { w, .. } | Job::Cell { w, .. } => w,
-        };
+        let workload = config.workloads[w];
         let obs = ObsConfig {
             trace_capacity: config.trace_capacity,
             context: vec![("vdd", format!("{vdd:?}")), ("rep", rep.to_string())],
         };
-        run_cell(
-            workload,
-            spec,
-            &config.gpu,
-            config.ops_per_cu,
-            map,
-            trace_seed(w, rep),
-            &obs,
-        )
+        match mode {
+            ArtifactMode::Shared => {
+                let map = match job {
+                    Job::Baseline { .. } => &free_map,
+                    Job::Cell { v, .. } => &maps[v * reps + rep],
+                };
+                run_cell_traced(
+                    workload,
+                    spec,
+                    &config.gpu,
+                    Trace::from_shared(Arc::clone(&traces[w * reps + rep])),
+                    map,
+                    trace_seed(w, rep),
+                    &obs,
+                )
+            }
+            ArtifactMode::PerJob => {
+                let map = match job {
+                    Job::Baseline { .. } => Arc::new(FaultMap::fault_free(lines)),
+                    Job::Cell { v, .. } => Arc::new(FaultMap::build_dense(
+                        lines,
+                        &model,
+                        NormVdd(config.vdds[v]),
+                        FreqGhz::PEAK,
+                        derive_seed(config.root_seed, "die", &[rep as u64]),
+                    )),
+                };
+                run_cell(
+                    workload,
+                    spec,
+                    &config.gpu,
+                    config.ops_per_cu,
+                    &map,
+                    trace_seed(w, rep),
+                    &obs,
+                )
+            }
+        }
     });
 
     // Phase 3: deterministic sequential aggregation. Baseline cycles per

@@ -71,6 +71,9 @@ impl From<std::io::Error> for ArgError {
     }
 }
 
+/// Flags that take no value: their presence is the value (`--quick`).
+const BOOLEAN_FLAGS: [&str; 1] = ["quick"];
+
 impl Args {
     /// Parses an iterator of arguments (exclusive of the binary name).
     ///
@@ -83,6 +86,10 @@ impl Args {
         let mut iter = args.into_iter();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    out.flags.insert(name.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = iter.next().ok_or_else(|| ArgError::MissingValue {
                     flag: name.to_string(),
                 })?;
@@ -319,5 +326,14 @@ mod tests {
         let a = parse(&["x", "--verbose", "1"]).unwrap();
         assert!(a.has("verbose"));
         assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse(&["bench", "--quick", "--out", "x.json"]).unwrap();
+        assert!(a.has("quick"));
+        assert_eq!(a.get_or("out", ""), "x.json");
+        let trailing = parse(&["bench", "--quick"]).unwrap();
+        assert!(trailing.has("quick"));
     }
 }

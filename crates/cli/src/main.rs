@@ -10,6 +10,8 @@
 //!                 [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
 //!                 [--ops 10000] [--seed 42] [--l2kb 512] [--out FILE.json]
 //!                 [--trace FILE.jsonl] [--trace-capacity 4096]
+//! killi bench     [--quick] [--out results/BENCH_perf.json]
+//!                 | --check FILE.json
 //! killi record    --out trace.ktrc [--workload fft] [--ops 100000]
 //! killi replay    --in trace.ktrc [--scheme killi] [--vdd 0.625]
 //! killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
@@ -24,6 +26,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use args::{ArgError, Args};
+use killi_bench::perf::{run_perf_suite, BENCHMARK_NAMES};
 use killi_bench::report::Table;
 use killi_bench::runner::{baseline_of, run_cell, run_matrix, MatrixConfig, ObsConfig};
 use killi_bench::schemes::{BuildCtx, SchemeSpec};
@@ -53,6 +56,14 @@ USAGE:
                   [--trace FILE.jsonl] [--trace-capacity 4096]
                   Monte-Carlo sweep: statistics (mean/stddev/95% CI) over
                   seed-derived replicate fault maps, written as JSON.
+  killi bench     [--quick] [--out results/BENCH_perf.json]
+                  Before/after performance suite for the sweep hot path
+                  (fault-map build, single simulation, full sweep) as
+                  killi-bench/v1 JSON. --quick runs a seconds-scale
+                  configuration for CI smoke.
+  killi bench     --check FILE.json
+                  Validates a killi-bench/v1 report (schema + the three
+                  expected benchmark entries).
   killi record    --out trace.ktrc [--workload fft] [--ops 100000] [--seed 42]
   killi replay    --in trace.ktrc  [--scheme killi] [--ratio 64] [--vdd 0.625]
   killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
@@ -83,6 +94,7 @@ fn main() -> ExitCode {
         Some("faultmap") => cmd_faultmap(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("bench") => cmd_bench(&args),
         Some("record") => cmd_record(&args),
         Some("replay") => cmd_replay(&args),
         Some("profile") => cmd_profile(&args),
@@ -403,6 +415,73 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         std::fs::write(&trace_out, trace)?;
         println!("wrote {trace_out}");
     }
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), ArgError> {
+    if args.has("check") {
+        return check_bench_report(&args.require("check", "bench --check")?);
+    }
+    let quick = args.has("quick");
+    let out = args.get_or("out", "results/BENCH_perf.json");
+    eprintln!(
+        "running the {} perf suite (before = unshared reference path, \
+         after = shared-artifact path) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = run_perf_suite(quick);
+    println!(
+        "sweep hot-path benchmarks ({}):\n{}",
+        if quick {
+            "quick configuration"
+        } else {
+            "default sweep configuration"
+        },
+        report.summary_table().render()
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&out, report.to_json())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Validates a `killi-bench/v1` report: parses, carries the schema, and
+/// has every expected benchmark entry with numeric timings.
+fn check_bench_report(path: &str) -> Result<(), ArgError> {
+    let bad = |message: String| ArgError::Io {
+        message: format!("{path}: {message}"),
+    };
+    let text = std::fs::read_to_string(path)?;
+    let root = parse_json(&text).map_err(|e| bad(e.to_string()))?;
+    let schema = root.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != "killi-bench/v1" {
+        return Err(bad(format!(
+            "schema '{schema}' is not killi-bench/v1 (re-run killi bench)"
+        )));
+    }
+    let benchmarks = root
+        .get("benchmarks")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| bad("report has no benchmarks array".to_string()))?;
+    for name in BENCHMARK_NAMES {
+        let entry = benchmarks
+            .iter()
+            .find(|b| b.get("name").and_then(|v| v.as_str()) == Some(name))
+            .ok_or_else(|| bad(format!("missing benchmark '{name}'")))?;
+        for field in ["before_ns", "after_ns"] {
+            if entry.get(field).and_then(|v| v.as_u64()).is_none() {
+                return Err(bad(format!("'{name}' has no numeric '{field}'")));
+            }
+        }
+        if entry.get("speedup").and_then(|v| v.as_f64()).is_none() {
+            return Err(bad(format!("'{name}' has no numeric 'speedup'")));
+        }
+    }
+    println!("{path}: OK ({} benchmark(s))", benchmarks.len());
     Ok(())
 }
 

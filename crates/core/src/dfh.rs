@@ -74,6 +74,74 @@ impl Dfh {
     }
 }
 
+/// Packed per-line DFH storage: the hardware's two tag-array bits per
+/// line, 32 lines to a `u64` word. The scheme's DFH census and
+/// victim-class reads sweep this flat bit array instead of striding over
+/// per-line state records.
+#[derive(Debug, Clone)]
+pub struct DfhArray {
+    words: Vec<u64>,
+    lines: usize,
+}
+
+impl DfhArray {
+    /// All lines in the reset state ([`Dfh::Unknown`]).
+    pub fn new(lines: usize) -> Self {
+        let mut a = DfhArray {
+            words: vec![0; lines.div_ceil(32)],
+            lines,
+        };
+        a.reset();
+        a
+    }
+
+    /// Number of lines covered.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// The DFH state of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    #[inline]
+    pub fn get(&self, line: usize) -> Dfh {
+        assert!(line < self.lines, "line {line} out of range");
+        Dfh::from_bits(((self.words[line >> 5] >> ((line & 31) * 2)) & 0b11) as u8)
+    }
+
+    /// Sets the DFH state of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    #[inline]
+    pub fn set(&mut self, line: usize, dfh: Dfh) {
+        assert!(line < self.lines, "line {line} out of range");
+        let shift = (line & 31) * 2;
+        let word = &mut self.words[line >> 5];
+        *word = (*word & !(0b11 << shift)) | (u64::from(dfh.bits()) << shift);
+    }
+
+    /// Returns every line to [`Dfh::Unknown`] (the DFH reset broadcast).
+    pub fn reset(&mut self) {
+        // Unknown encodes as b01 in every two-bit lane.
+        for w in &mut self.words {
+            *w = 0x5555_5555_5555_5555;
+        }
+    }
+
+    /// Counts lines in each state, indexed by [`Dfh::bits`].
+    pub fn census(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        for line in 0..self.lines {
+            counts[self.get(line).bits() as usize] += 1;
+        }
+        counts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +194,53 @@ mod tests {
     #[should_panic(expected = "invalid DFH")]
     fn invalid_bits_panic() {
         Dfh::from_bits(4);
+    }
+
+    #[test]
+    fn array_starts_unknown_and_roundtrips() {
+        let mut a = DfhArray::new(67); // straddles word boundaries
+        assert_eq!(a.lines(), 67);
+        for line in 0..67 {
+            assert_eq!(a.get(line), Dfh::Unknown);
+        }
+        let states = [Dfh::Stable0, Dfh::Unknown, Dfh::Stable1, Dfh::Disabled];
+        for line in 0..67 {
+            a.set(line, states[line % 4]);
+        }
+        for line in 0..67 {
+            assert_eq!(a.get(line), states[line % 4], "line {line}");
+        }
+    }
+
+    #[test]
+    fn array_set_does_not_disturb_neighbours() {
+        let mut a = DfhArray::new(64);
+        a.set(31, Dfh::Disabled);
+        a.set(32, Dfh::Stable0);
+        assert_eq!(a.get(30), Dfh::Unknown);
+        assert_eq!(a.get(31), Dfh::Disabled);
+        assert_eq!(a.get(32), Dfh::Stable0);
+        assert_eq!(a.get(33), Dfh::Unknown);
+    }
+
+    #[test]
+    fn array_reset_and_census() {
+        let mut a = DfhArray::new(100);
+        a.set(3, Dfh::Disabled);
+        a.set(7, Dfh::Stable1);
+        a.set(9, Dfh::Stable0);
+        let c = a.census();
+        assert_eq!(c[Dfh::Stable0.bits() as usize], 1);
+        assert_eq!(c[Dfh::Unknown.bits() as usize], 97);
+        assert_eq!(c[Dfh::Stable1.bits() as usize], 1);
+        assert_eq!(c[Dfh::Disabled.bits() as usize], 1);
+        a.reset();
+        assert_eq!(a.census()[Dfh::Unknown.bits() as usize], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn array_rejects_out_of_range() {
+        DfhArray::new(10).get(10);
     }
 }

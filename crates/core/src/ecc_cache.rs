@@ -73,10 +73,31 @@ impl EccCacheConfig {
     }
 }
 
+/// Result of a single-pass set scan ([`EccCache::probe`]): everything the
+/// victim-selection check needs to know about an L2 line's ECC-cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetProbe {
+    /// The line currently owns an entry.
+    pub has_entry: bool,
+    /// The set has at least one invalid way.
+    pub has_free_way: bool,
+}
+
+impl SetProbe {
+    /// True when the line could hold checkbits without displacing another
+    /// line's entry (it already has an entry, or an insert would land in a
+    /// free way).
+    pub fn protectable(self) -> bool {
+        self.has_entry || self.has_free_way
+    }
+}
+
 /// The ECC cache.
 #[derive(Debug, Clone)]
 pub struct EccCache {
-    sets: usize,
+    /// `sets - 1`; the set count is asserted a power of two, so the set
+    /// index is a mask rather than a modulo on the probe path.
+    set_mask: usize,
     ways: usize,
     l2_ways: usize,
     entries: Vec<Entry>,
@@ -106,7 +127,7 @@ impl EccCache {
             "ECC cache sets must be a power of two"
         );
         EccCache {
-            sets,
+            set_mask: sets - 1,
             ways: config.ways,
             l2_ways,
             entries: vec![INVALID; entries],
@@ -152,7 +173,7 @@ impl EccCache {
     /// ECC-cache set of an L2 line: indexed by the same physical address
     /// bits (the L2 set index) as the main cache.
     fn set_of(&self, l2_line: LineId) -> usize {
-        (l2_line / self.l2_ways) % self.sets
+        (l2_line / self.l2_ways) & self.set_mask
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -174,7 +195,26 @@ impl EccCache {
         self.entries[range].iter().any(|e| !e.valid)
     }
 
-    /// Reads the payload protecting `l2_line`, updating LRU.
+    /// Answers [`has_entry`](Self::has_entry) and
+    /// [`set_has_free_way`](Self::set_has_free_way) in one pass over the
+    /// set, resolving the set index once. This is the victim-selection hot
+    /// probe: it runs for every candidate way on every L2 fill.
+    pub fn probe(&self, l2_line: LineId) -> SetProbe {
+        let range = self.set_range(self.set_of(l2_line));
+        let mut p = SetProbe {
+            has_entry: false,
+            has_free_way: false,
+        };
+        for e in &self.entries[range] {
+            p.has_entry |= e.valid && e.l2_line == l2_line;
+            p.has_free_way |= !e.valid;
+        }
+        p
+    }
+
+    /// Reads the payload protecting `l2_line`, updating LRU. The set is
+    /// resolved once up front; payloads are `Copy`, so a miss walks the
+    /// ways without cloning anything.
     pub fn lookup(&mut self, l2_line: LineId) -> Option<EccPayload> {
         self.accesses += 1;
         self.clock += 1;
@@ -248,10 +288,7 @@ impl EccCache {
             self.evictions += 1;
             Some(displaced)
         };
-        let occupancy = self.entries[self.set_range(set)]
-            .iter()
-            .filter(|e| e.valid)
-            .count();
+        let occupancy = self.entries[range].iter().filter(|e| e.valid).count();
         self.occupancy_hist.observe_linear(occupancy as u64);
         self.sink.emit(|| KilliEvent::EccInsert {
             line: l2_line as u32,
@@ -415,6 +452,26 @@ mod tests {
         let c = cache(64);
         assert_eq!(c.set_of(0), c.set_of(4 * 16));
         assert_ne!(c.set_of(0), c.set_of(16));
+    }
+
+    #[test]
+    fn probe_matches_split_queries() {
+        let mut c = cache(64);
+        let lines: Vec<LineId> = (0..5).map(|i| i * 16 * 4).collect();
+        // Empty set, filling set, full set, and a conflicting line that
+        // maps to the full set but owns no entry.
+        for &l in &lines[..4] {
+            let p = c.probe(l);
+            assert_eq!(p.has_entry, c.has_entry(l));
+            assert_eq!(p.has_free_way, c.set_has_free_way(l));
+            assert!(p.protectable());
+            c.insert(l, payload(0));
+        }
+        let full = c.probe(lines[0]);
+        assert!(full.has_entry && !full.has_free_way && full.protectable());
+        let conflict = c.probe(lines[4]);
+        assert!(!conflict.has_entry && !conflict.has_free_way);
+        assert!(!conflict.protectable());
     }
 
     #[test]

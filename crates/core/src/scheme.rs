@@ -22,7 +22,7 @@ use killi_obs::{Counter, Histogram, KilliEvent, MetricSet, Sink};
 use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 use crate::classify::{classify_stable0, classify_stable1, classify_unknown, Verdict};
-use crate::dfh::Dfh;
+use crate::dfh::{Dfh, DfhArray};
 use crate::ecc_cache::{EccCache, EccCacheConfig, EccPayload};
 
 /// Killi configuration. Defaults reproduce the paper's design; the boolean
@@ -108,7 +108,6 @@ fn unpack_olsc(words: &[u64; 4], n: usize) -> Vec<bool> {
 
 #[derive(Debug, Clone, Copy, Default)]
 struct LineState {
-    dfh: Dfh,
     /// Content of the 4 low-voltage parity cells (already stuck-at
     /// corrupted). For `b'01` lines these are parity bits 0..4 of the
     /// 16-bit training parity; for stable lines the 4 quarter parities.
@@ -126,6 +125,10 @@ struct LineState {
 pub struct KilliScheme {
     config: KilliConfig,
     map: Arc<FaultMap>,
+    /// The two hardware DFH bits per line, packed (the hot victim-search
+    /// and census reads), kept apart from the colder per-line metadata in
+    /// `states`.
+    dfh: DfhArray,
     states: Vec<LineState>,
     ecc: EccCache,
     corrections: u64,
@@ -159,6 +162,7 @@ impl KilliScheme {
         KilliScheme {
             config,
             map,
+            dfh: DfhArray::new(l2_lines),
             states: vec![LineState::default(); l2_lines],
             ecc: EccCache::new(config.ecc_cache, l2_lines, l2_ways),
             corrections: 0,
@@ -174,16 +178,13 @@ impl KilliScheme {
 
     /// Current DFH state of a line (tests and reports).
     pub fn dfh(&self, line: LineId) -> Dfh {
-        self.states[line].dfh
+        self.dfh.get(line)
     }
 
     /// Census of lines per DFH state, indexed by `Dfh::bits()`.
     pub fn dfh_census(&self) -> [usize; 4] {
-        let mut census = [0usize; 4];
-        for s in &self.states {
-            census[s.dfh.bits() as usize] += 1;
-        }
-        census
+        let c = self.dfh.census();
+        [c[0] as usize, c[1] as usize, c[2] as usize, c[3] as usize]
     }
 
     /// DFH transition counts, `[from][to]` indexed by `Dfh::bits()`.
@@ -203,7 +204,7 @@ impl KilliScheme {
     pub fn scrub_reclaim(&mut self) -> usize {
         let mut reclaimed = 0;
         for line in 0..self.states.len() {
-            if self.states[line].dfh == Dfh::Disabled {
+            if self.dfh.get(line) == Dfh::Disabled {
                 self.transition(line, Dfh::Unknown);
                 reclaimed += 1;
             }
@@ -212,10 +213,10 @@ impl KilliScheme {
     }
 
     fn transition(&mut self, line: LineId, next: Dfh) {
-        let cur = self.states[line].dfh;
+        let cur = self.dfh.get(line);
         if cur != next {
             self.transitions[cur.bits() as usize][next.bits() as usize] += 1;
-            self.states[line].dfh = next;
+            self.dfh.set(line, next);
             if cur == Dfh::Unknown {
                 let since = self.states[line].training_since;
                 self.training_hist.observe_log2(self.ops - since);
@@ -386,6 +387,7 @@ impl LineProtection for KilliScheme {
     fn reset(&mut self) {
         // Voltage change / reboot: relearn everything (§2.4).
         let now = self.ops;
+        self.dfh.reset();
         for s in &mut self.states {
             *s = LineState {
                 training_since: now,
@@ -401,16 +403,14 @@ impl LineProtection for KilliScheme {
         // entries, the line is unusable for allocation — the paper's
         // "subset of lines with one fault that cannot be protected with
         // SECDED checkbits due to limited ECC cache size" (§5.2).
-        if self.states[line].dfh == Dfh::Stable1
-            && !self.ecc.has_entry(line)
-            && !self.ecc.set_has_free_way(line)
-        {
+        let dfh = self.dfh.get(line);
+        if dfh == Dfh::Stable1 && !self.ecc.probe(line).protectable() {
             return None;
         }
         if self.config.victim_priority {
-            self.states[line].dfh.victim_class()
+            dfh.victim_class()
         } else {
-            self.states[line].dfh.usable().then_some(0)
+            dfh.usable().then_some(0)
         }
     }
 
@@ -418,7 +418,7 @@ impl LineProtection for KilliScheme {
         self.ops += 1;
         let mut outcome = FillOutcome::default();
         self.states[line].dirty_protected = false; // a fill installs clean data
-        let mut dfh = self.states[line].dfh;
+        let mut dfh = self.dfh.get(line);
         // The L2 never picks a disabled victim (victim_class is None), but
         // direct callers may still probe: the Disabled arm below rejects
         // the fill gracefully rather than asserting.
@@ -486,7 +486,7 @@ impl LineProtection for KilliScheme {
         // so every dirty line gets checkbits in the ECC cache — SECDED for
         // (otherwise parity-only) b'00 lines, DEC-TED for b'10 lines.
         let mut outcome = FillOutcome::default();
-        match self.states[line].dfh {
+        match self.dfh.get(line) {
             Dfh::Unknown => {
                 // Training protection (16-bit parity + SECDED) already
                 // meets the SECDED-at-safe-voltage bar.
@@ -524,7 +524,7 @@ impl LineProtection for KilliScheme {
 
     fn on_read_hit(&mut self, line: LineId, stored: &mut Line512) -> ReadOutcome {
         self.ops += 1;
-        if self.states[line].dirty_protected && self.states[line].dfh == Dfh::Stable0 {
+        if self.states[line].dirty_protected && self.dfh.get(line) == Dfh::Stable0 {
             // §5.6.1 dirty b'00 line: SECDED checkbits back the parity.
             if let Some(EccPayload::Secded { code, .. }) = self.ecc.lookup(line) {
                 return match secded().decode(stored, code) {
@@ -554,7 +554,7 @@ impl LineProtection for KilliScheme {
             }
             debug_assert!(false, "dirty-protected line without ECC entry");
         }
-        match self.states[line].dfh {
+        match self.dfh.get(line) {
             Dfh::Stable0 => {
                 let obs = SegObservation::observe4(self.states[line].parity4, seg4(stored));
                 self.sink.emit(|| KilliEvent::ParityObservation {
@@ -729,10 +729,10 @@ impl LineProtection for KilliScheme {
             self.pending_displaced = Some((pending_line, payload));
             return false;
         }
-        match (self.states[line].dfh, payload) {
+        match (self.dfh.get(line), payload) {
             (Dfh::Unknown, EccPayload::Olsc(words)) => {
                 let _ = self.classify_olsc(line, stored, &words);
-                self.states[line].dfh == Dfh::Stable0
+                self.dfh.get(line) == Dfh::Stable0
             }
             (Dfh::Unknown, payload) => {
                 // Classify the line with the displaced metadata while it is
@@ -741,7 +741,7 @@ impl LineProtection for KilliScheme {
                 let (seg, ecc, dec) = self.observe_unknown(line, stored, payload);
                 let verdict = classify_unknown(seg, ecc, dec);
                 self.apply_verdict(line, verdict, stored);
-                self.states[line].dfh == Dfh::Stable0
+                self.dfh.get(line) == Dfh::Stable0
             }
             // A `b'10` line cannot survive without its checkbits.
             _ => false,
@@ -750,7 +750,7 @@ impl LineProtection for KilliScheme {
 
     fn on_evict(&mut self, line: LineId, stored: &Line512) {
         self.ops += 1;
-        match self.states[line].dfh {
+        match self.dfh.get(line) {
             Dfh::Unknown => {
                 if self.config.eviction_training {
                     // The entry may just have been displaced from the ECC
@@ -797,7 +797,7 @@ impl LineProtection for KilliScheme {
     }
 
     fn on_promote(&mut self, line: LineId) {
-        if self.config.coordinated_promotion && self.states[line].dfh.needs_ecc_entry() {
+        if self.config.coordinated_promotion && self.dfh.get(line).needs_ecc_entry() {
             self.ecc.promote(line);
         }
     }
@@ -815,10 +815,7 @@ impl LineProtection for KilliScheme {
         let mut m = MetricSet::new();
         m.set(
             Counter::DisabledLines,
-            self.states
-                .iter()
-                .filter(|s| s.dfh == Dfh::Disabled)
-                .count() as u64,
+            self.dfh.census()[Dfh::Disabled.bits() as usize],
         );
         m.set(Counter::Corrections, self.corrections);
         m.set(Counter::Detections, self.detections);

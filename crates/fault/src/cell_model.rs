@@ -167,7 +167,15 @@ impl CellFailureModel {
         kind: FailureKind,
         z_line: f64,
     ) -> f64 {
-        let median = self.p_cell_median(vdd, freq, kind);
+        self.line_p(self.p_cell_median(vdd, freq, kind), z_line)
+    }
+
+    /// The per-line probability derived from an already-computed operating
+    /// point median. Lets callers that iterate over many lines at one
+    /// (vdd, freq) pay for the anchor interpolation in [`Self::p_cell_median`]
+    /// once instead of per line; `p_cell_for_line` is exactly
+    /// `line_p(p_cell_median(..), z_line)`.
+    pub fn line_p(&self, median: f64, z_line: f64) -> f64 {
         (median * (self.sigma * z_line).exp()).clamp(0.0, P_CEIL)
     }
 

@@ -18,7 +18,7 @@ use killi_ecc::bits::{Line512, LINE_BITS};
 use killi_ecc::secded::SecdedCode;
 
 use crate::cell_model::{CellFailureModel, FailureKind, FreqGhz, NormVdd};
-use crate::rng::{hash3, to_unit};
+use crate::rng::{hash3, hash3_base, hash3_with_base, to_unit, unit_threshold};
 
 /// Cell-index layout of a protected line. Data cells come first; metadata
 /// cells follow so every protection scheme draws its faults from the same
@@ -66,7 +66,59 @@ pub struct FaultMap {
 impl FaultMap {
     /// Builds the fault map for `lines` physical lines at the given
     /// operating point.
+    ///
+    /// Equivalent to [`Self::build_dense`] bit for bit, but hoists the
+    /// per-line hash base and the operating-point median out of the inner
+    /// loop and compares hashes against an exact integer threshold
+    /// ([`unit_threshold`]) instead of converting every draw to `f64`.
     pub fn build(
+        lines: usize,
+        model: &CellFailureModel,
+        vdd: NormVdd,
+        freq: FreqGhz,
+        seed: u64,
+    ) -> Self {
+        let median = model.p_cell_median(vdd, freq, FailureKind::Combined);
+        let mut faults = Vec::with_capacity(lines);
+        let mut scratch = Vec::new();
+        let mut mean_p_line = 0.0;
+        for line in 0..lines {
+            let base = hash3_base(seed, line as u64);
+            // Per-line variation draw, frozen across voltages so fault
+            // populations at different operating points stay nested.
+            let z = standard_normal(hash3_with_base(base, 0xF00D));
+            let p = model.line_p(median, z);
+            mean_p_line += p;
+            let threshold = unit_threshold(p);
+            scratch.clear();
+            if threshold > 0 {
+                for cell in 0..layout::CELLS_PER_LINE {
+                    let h = hash3_with_base(base, u64::from(cell));
+                    if (h >> 11) < threshold {
+                        scratch.push(CellFault {
+                            cell,
+                            stuck: h & (1 << 63) != 0,
+                        });
+                    }
+                }
+            }
+            faults.push(scratch.as_slice().into());
+        }
+        FaultMap {
+            faults,
+            p_cell_median: median,
+            mean_p_line: mean_p_line / lines.max(1) as f64,
+            vdd,
+            freq,
+            seed,
+        }
+    }
+
+    /// The dense reference construction: one [`hash3`] and one float
+    /// comparison per cell, exactly as originally specified. The optimized
+    /// [`Self::build`] and the sparse [`DieFaultTable`] derivation are
+    /// property-tested to reproduce this map bit for bit.
+    pub fn build_dense(
         lines: usize,
         model: &CellFailureModel,
         vdd: NormVdd,
@@ -77,8 +129,6 @@ impl FaultMap {
         let mut scratch = Vec::new();
         let mut mean_p_line = 0.0;
         for line in 0..lines {
-            // Per-line variation draw, frozen across voltages so fault
-            // populations at different operating points stay nested.
             let z = standard_normal(hash3(seed, line as u64, 0xF00D));
             let p = model.p_cell_for_line(vdd, freq, FailureKind::Combined, z);
             mean_p_line += p;
@@ -277,6 +327,148 @@ impl FaultMap {
             hist[n] += 1;
         }
         hist
+    }
+}
+
+/// Sparse per-die fault memo: the cross-voltage factorization of
+/// [`FaultMap::build`].
+///
+/// Cell hashes depend only on `(seed, line, cell)` — voltage enters solely
+/// through the per-line probability threshold — so all maps of one die over
+/// a voltage grid share one hash pass. The table is built once at the
+/// grid's *cap* (lowest) voltage, keeping only the cells faulty there
+/// (their count is tiny at realistic `p_cell`); by voltage-monotone
+/// nesting, the fault set at any voltage `>=` the cap is a subset of these
+/// candidates, so [`Self::fault_map_at`] derives a bit-identical
+/// [`FaultMap`] by filtering the sparse candidate list against that
+/// voltage's threshold instead of re-hashing every cell of every line.
+#[derive(Debug, Clone)]
+pub struct DieFaultTable {
+    /// Per line, in cell order: `(h >> 11, fault)` for every candidate
+    /// cell (faulty at the cap voltage).
+    candidates: Vec<Box<[(u64, CellFault)]>>,
+    /// Per-line frozen variation draws.
+    z: Vec<f64>,
+    cap_vdd: NormVdd,
+    freq: FreqGhz,
+    seed: u64,
+}
+
+impl DieFaultTable {
+    /// Builds the candidate table for `lines` physical lines, covering all
+    /// voltages `>= cap_vdd` at frequency `freq`.
+    pub fn build(
+        lines: usize,
+        model: &CellFailureModel,
+        cap_vdd: NormVdd,
+        freq: FreqGhz,
+        seed: u64,
+    ) -> Self {
+        let median = model.p_cell_median(cap_vdd, freq, FailureKind::Combined);
+        let mut candidates = Vec::with_capacity(lines);
+        let mut z_draws = Vec::with_capacity(lines);
+        let mut scratch = Vec::new();
+        for line in 0..lines {
+            let base = hash3_base(seed, line as u64);
+            let z = standard_normal(hash3_with_base(base, 0xF00D));
+            z_draws.push(z);
+            let threshold = unit_threshold(model.line_p(median, z));
+            scratch.clear();
+            if threshold > 0 {
+                for cell in 0..layout::CELLS_PER_LINE {
+                    let h = hash3_with_base(base, u64::from(cell));
+                    if (h >> 11) < threshold {
+                        scratch.push((
+                            h >> 11,
+                            CellFault {
+                                cell,
+                                stuck: h & (1 << 63) != 0,
+                            },
+                        ));
+                    }
+                }
+            }
+            candidates.push(scratch.as_slice().into());
+        }
+        DieFaultTable {
+            candidates,
+            z: z_draws,
+            cap_vdd,
+            freq,
+            seed,
+        }
+    }
+
+    /// Builds the table for one Monte-Carlo replicate, deriving the die
+    /// seed exactly as [`FaultMap::build_replicate`] does.
+    pub fn build_replicate(
+        lines: usize,
+        model: &CellFailureModel,
+        cap_vdd: NormVdd,
+        freq: FreqGhz,
+        root_seed: u64,
+        replicate: u64,
+    ) -> Self {
+        let die_seed = crate::rng::derive_seed(root_seed, "die", &[replicate]);
+        Self::build(lines, model, cap_vdd, freq, die_seed)
+    }
+
+    /// Number of physical lines covered.
+    pub fn lines(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The lowest voltage this table can derive maps for.
+    pub fn cap_vdd(&self) -> NormVdd {
+        self.cap_vdd
+    }
+
+    /// Derives the fault map of this die at `vdd`, bit-identical to
+    /// `FaultMap::build(lines, model, vdd, freq, seed)` with the table's
+    /// frequency and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is below the table's cap voltage (fault sets there
+    /// may exceed the candidate pool) or if `model` disagrees with the
+    /// table's cap-voltage candidate census (a different model than the
+    /// table was built with).
+    pub fn fault_map_at(&self, model: &CellFailureModel, vdd: NormVdd) -> FaultMap {
+        assert!(
+            vdd.0 >= self.cap_vdd.0,
+            "requested vdd {} below table cap {}",
+            vdd.0,
+            self.cap_vdd.0
+        );
+        let median = model.p_cell_median(vdd, self.freq, FailureKind::Combined);
+        let cap_median = model.p_cell_median(self.cap_vdd, self.freq, FailureKind::Combined);
+        let mut faults = Vec::with_capacity(self.lines());
+        let mut mean_p_line = 0.0;
+        for (line, cands) in self.candidates.iter().enumerate() {
+            let z = self.z[line];
+            let p = model.line_p(median, z);
+            mean_p_line += p;
+            let threshold = unit_threshold(p);
+            let cap_threshold = unit_threshold(model.line_p(cap_median, z));
+            assert!(
+                threshold <= cap_threshold,
+                "model not monotone against table cap at line {line}"
+            );
+            let line_faults: Vec<CellFault> = cands
+                .iter()
+                .filter(|(key, _)| *key < threshold)
+                .map(|&(_, f)| f)
+                .collect();
+            faults.push(line_faults.into_boxed_slice());
+        }
+        FaultMap {
+            faults,
+            p_cell_median: median,
+            mean_p_line: mean_p_line / self.lines().max(1) as f64,
+            vdd,
+            freq: self.freq,
+            seed: self.seed,
+        }
     }
 }
 
@@ -487,5 +679,62 @@ mod tests {
         let m = FaultMap::build(500, &model(), NormVdd::NOMINAL, FreqGhz::PEAK, 9);
         let total: usize = (0..500).map(|l| m.line(l).len()).sum();
         assert_eq!(total, 0);
+    }
+
+    /// Every observable field of two maps must agree bit for bit
+    /// (floats compared via `to_bits`).
+    fn assert_maps_identical(a: &FaultMap, b: &FaultMap) {
+        assert_eq!(a.lines(), b.lines());
+        for l in 0..a.lines() {
+            assert_eq!(a.line(l), b.line(l), "line {l} differs");
+        }
+        assert_eq!(a.p_cell_median().to_bits(), b.p_cell_median().to_bits());
+        assert_eq!(a.mean_p_line().to_bits(), b.mean_p_line().to_bits());
+        assert_eq!(a.seed(), b.seed());
+        let ((av, af), (bv, bf)) = (a.operating_point(), b.operating_point());
+        assert_eq!(
+            (av.0.to_bits(), af.0.to_bits()),
+            (bv.0.to_bits(), bf.0.to_bits())
+        );
+    }
+
+    #[test]
+    fn optimized_build_matches_dense_reference() {
+        for seed in [0, 7, 42, 0xDEAD_BEEF] {
+            for v in [0.5, 0.55, 0.575, 0.6, 0.625, 0.675, 1.0] {
+                for f in [0.4, 1.0] {
+                    let fast = FaultMap::build(96, &model(), NormVdd(v), FreqGhz(f), seed);
+                    let dense = FaultMap::build_dense(96, &model(), NormVdd(v), FreqGhz(f), seed);
+                    assert_maps_identical(&fast, &dense);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn die_table_derivation_matches_dense_reference() {
+        let cap = NormVdd(0.55);
+        let table = DieFaultTable::build(128, &model(), cap, FreqGhz::PEAK, 42);
+        for v in [0.55, 0.575, 0.6, 0.625, 0.65, 0.7, 1.0] {
+            let derived = table.fault_map_at(&model(), NormVdd(v));
+            let dense = FaultMap::build_dense(128, &model(), NormVdd(v), FreqGhz::PEAK, 42);
+            assert_maps_identical(&derived, &dense);
+        }
+    }
+
+    #[test]
+    fn die_table_replicate_matches_build_replicate() {
+        let table =
+            DieFaultTable::build_replicate(64, &model(), NormVdd(0.575), FreqGhz::PEAK, 42, 3);
+        let derived = table.fault_map_at(&model(), NormVdd(0.6));
+        let direct = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 3);
+        assert_maps_identical(&derived, &direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "below table cap")]
+    fn die_table_rejects_voltage_below_cap() {
+        let table = DieFaultTable::build(8, &model(), NormVdd(0.6), FreqGhz::PEAK, 1);
+        table.fault_map_at(&model(), NormVdd(0.575));
     }
 }

@@ -21,10 +21,42 @@ pub fn hash3(seed: u64, a: u64, b: u64) -> u64 {
     splitmix64(splitmix64(seed ^ a.wrapping_mul(0xA24B_AED4_963E_E407)) ^ b)
 }
 
+/// First stage of [`hash3`]: the per-`a` base. Inner loops that hash many
+/// `b` values under one `(seed, a)` pair hoist this out and finish each
+/// draw with [`hash3_with_base`]; the composition is bit-identical to
+/// calling `hash3` directly.
+#[inline]
+pub fn hash3_base(seed: u64, a: u64) -> u64 {
+    splitmix64(seed ^ a.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Second stage of [`hash3`]: finishes a draw from a hoisted
+/// [`hash3_base`]. `hash3_with_base(hash3_base(seed, a), b) == hash3(seed, a, b)`.
+#[inline]
+pub fn hash3_with_base(base: u64, b: u64) -> u64 {
+    splitmix64(base ^ b)
+}
+
 /// Maps a hash to a uniform double in `[0, 1)`.
 #[inline]
 pub fn to_unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Exact integer form of the threshold test `to_unit(h) < p`:
+/// `(h >> 11) < unit_threshold(p)` holds for precisely the same `(h, p)`
+/// pairs, but costs one integer compare per draw instead of an
+/// int-to-float conversion and a float compare.
+///
+/// Why it is exact: `to_unit(h)` is the real number `k * 2^-53` with
+/// `k = h >> 11 < 2^53`, so `to_unit(h) < p  iff  k < p * 2^53` in real
+/// arithmetic. Scaling an f64 by `2^53` only shifts its exponent (no
+/// rounding, and `p <= 1` rules out overflow), `ceil` of an f64 below
+/// `2^53` is exact, and for integer `k` the conditions `k < x` and
+/// `k < ceil(x)` agree for every real `x`.
+#[inline]
+pub fn unit_threshold(p: f64) -> u64 {
+    (p * (1u64 << 53) as f64).ceil() as u64
 }
 
 /// Hierarchical deterministic seed derivation: folds a domain label and a
@@ -97,6 +129,52 @@ mod tests {
         assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
         assert_ne!(hash3(1, 2, 3), hash3(1, 3, 3));
         assert_ne!(hash3(1, 2, 3), hash3(2, 2, 3));
+    }
+
+    #[test]
+    fn hash3_base_composition_matches_hash3() {
+        for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            for a in [0u64, 1, 7, 1 << 40, u64::MAX] {
+                let base = hash3_base(seed, a);
+                for b in [0u64, 1, 559, 0xF00D, u64::MAX] {
+                    assert_eq!(hash3_with_base(base, b), hash3(seed, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_threshold_matches_float_comparison() {
+        // Exhaustive over interesting hash values crossed with probabilities
+        // spanning the model's range, plus thresholds adjacent to exact
+        // representable boundaries.
+        let hashes: Vec<u64> = (0..4096)
+            .map(splitmix64)
+            .chain([0, 1, u64::MAX, u64::MAX - 1, 1 << 11, (1 << 11) - 1])
+            .collect();
+        let ps = [
+            0.0,
+            1e-12,
+            1e-9,
+            1e-6,
+            1e-3,
+            0.25,
+            0.5,
+            0.5 - f64::EPSILON,
+            1.0,
+            2.0_f64.powi(-53),
+            3.0 * 2.0_f64.powi(-53),
+        ];
+        for &p in &ps {
+            let t = unit_threshold(p);
+            for &h in &hashes {
+                assert_eq!(
+                    (h >> 11) < t,
+                    to_unit(h) < p,
+                    "mismatch at p={p:e} h={h:#x}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,9 +2,20 @@
 
 use killi_check::check;
 use killi_fault::cell_model::{CellFailureModel, FailureKind, FreqGhz, NormVdd};
-use killi_fault::map::FaultMap;
+use killi_fault::map::{DieFaultTable, FaultMap};
 use killi_fault::prob::{binom_cdf, binom_pmf, binom_sf};
 use killi_fault::rng::{hash3, to_unit};
+
+/// Bit-level equality of two fault maps: every line's fault list and the
+/// cached statistics (compared as bits, not approximately).
+fn assert_maps_identical(a: &FaultMap, b: &FaultMap) {
+    assert_eq!(a.lines(), b.lines());
+    for l in 0..a.lines() {
+        assert_eq!(a.line(l), b.line(l), "line {l}");
+    }
+    assert_eq!(a.p_cell_median().to_bits(), b.p_cell_median().to_bits());
+    assert_eq!(a.mean_p_line().to_bits(), b.mean_p_line().to_bits());
+}
 
 #[test]
 fn voltage_monotonicity_holds_for_any_pair() {
@@ -18,6 +29,54 @@ fn voltage_monotonicity_holds_for_any_pair() {
         for l in 0..64 {
             for f in hi.line(l) {
                 assert!(lo.line(l).contains(f));
+            }
+        }
+    });
+}
+
+#[test]
+fn sparse_build_matches_dense_for_any_operating_point() {
+    check("sparse_build_matches_dense_for_any_operating_point", |g| {
+        let seed = g.u64();
+        let vdd = NormVdd(g.f64_in(0.45, 1.0));
+        let freq = FreqGhz(g.f64_in(0.3, 1.0));
+        let lines = g.usize_in(1, 96);
+        let model = CellFailureModel::finfet14();
+        let fast = FaultMap::build(lines, &model, vdd, freq, seed);
+        let dense = FaultMap::build_dense(lines, &model, vdd, freq, seed);
+        assert_maps_identical(&fast, &dense);
+    });
+}
+
+#[test]
+fn die_table_derives_dense_maps_at_any_grid_point() {
+    check("die_table_derives_dense_maps_at_any_grid_point", |g| {
+        let seed = g.u64();
+        let cap = g.f64_in(0.5, 0.64);
+        let vdd = NormVdd((cap + g.f64_in(0.0, 0.3)).min(1.0));
+        let lines = g.usize_in(1, 96);
+        let model = CellFailureModel::finfet14();
+        let table = DieFaultTable::build(lines, &model, NormVdd(cap), FreqGhz::PEAK, seed);
+        let derived = table.fault_map_at(&model, vdd);
+        let dense = FaultMap::build_dense(lines, &model, vdd, FreqGhz::PEAK, seed);
+        assert_maps_identical(&derived, &dense);
+    });
+}
+
+#[test]
+fn die_table_preserves_voltage_nesting() {
+    check("die_table_preserves_voltage_nesting", |g| {
+        let seed = g.u64();
+        let cap = g.f64_in(0.5, 0.6);
+        let v_lo = cap + g.f64_in(0.0, 0.05);
+        let v_hi = (v_lo + g.f64_in(0.0, 0.1)).min(1.0);
+        let model = CellFailureModel::finfet14();
+        let table = DieFaultTable::build(64, &model, NormVdd(cap), FreqGhz::PEAK, seed);
+        let lo = table.fault_map_at(&model, NormVdd(v_lo));
+        let hi = table.fault_map_at(&model, NormVdd(v_hi));
+        for l in 0..64 {
+            for f in hi.line(l) {
+                assert!(lo.line(l).contains(f), "line {l}: {f:?} not nested");
             }
         }
     });

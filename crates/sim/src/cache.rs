@@ -79,11 +79,77 @@ impl CacheGeometry {
     }
 }
 
+/// Precomputed power-of-two address decomposition of a validated
+/// [`CacheGeometry`]: shift/mask replacements for the division-based
+/// `set_of`/`tag_of`, paid for once at cache construction instead of on
+/// every access.
+#[derive(Debug, Clone, Copy)]
+struct AddrMap {
+    sets: usize,
+    line_shift: u32,
+    tag_shift: u32,
+}
+
+impl AddrMap {
+    /// Validates `geom` (via [`CacheGeometry::sets`]) and captures its
+    /// decomposition constants.
+    fn new(geom: &CacheGeometry) -> Self {
+        let sets = geom.sets();
+        let line_shift = geom.line_bytes.trailing_zeros();
+        AddrMap {
+            sets,
+            line_shift,
+            tag_shift: line_shift + sets.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.tag_shift
+    }
+}
+
+/// Packed one-bit-per-line flags (valid/dirty): 64 lines per word, so the
+/// flag sweep of a victim search stays within one metadata cache line.
+#[derive(Debug, Clone)]
+struct BitVec {
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    fn zeroed(bits: usize) -> Self {
+        BitVec {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: bool) {
+        let mask = 1u64 << (i & 63);
+        if v {
+            self.words[i >> 6] |= mask;
+        } else {
+            self.words[i >> 6] &= !mask;
+        }
+    }
+}
+
 /// A tag-only cache (the per-CU L1: it runs at nominal voltage, so no data
 /// payload needs modelling).
 #[derive(Debug, Clone)]
 pub struct TagCache {
     geom: CacheGeometry,
+    addr_map: AddrMap,
     tags: Vec<Option<u64>>,
     lru: Vec<u64>,
     clock: u64,
@@ -93,9 +159,10 @@ impl TagCache {
     /// Creates an empty tag cache.
     pub fn new(geom: CacheGeometry) -> Self {
         let lines = geom.lines();
-        geom.sets(); // validate
+        let addr_map = AddrMap::new(&geom); // validates
         TagCache {
             geom,
+            addr_map,
             tags: vec![None; lines],
             lru: vec![0; lines],
             clock: 0,
@@ -104,8 +171,8 @@ impl TagCache {
 
     /// Looks up `addr`, updating LRU on hit. Returns true on hit.
     pub fn access(&mut self, addr: u64) -> bool {
-        let set = self.geom.set_of(addr);
-        let tag = self.geom.tag_of(addr);
+        let set = self.addr_map.set_of(addr);
+        let tag = self.addr_map.tag_of(addr);
         self.clock += 1;
         for way in 0..self.geom.ways {
             let id = self.geom.line_id(set, way);
@@ -119,8 +186,8 @@ impl TagCache {
 
     /// Installs `addr`, evicting LRU.
     pub fn fill(&mut self, addr: u64) {
-        let set = self.geom.set_of(addr);
-        let tag = self.geom.tag_of(addr);
+        let set = self.addr_map.set_of(addr);
+        let tag = self.addr_map.tag_of(addr);
         self.clock += 1;
         let mut victim = self.geom.line_id(set, 0);
         for way in 0..self.geom.ways {
@@ -139,8 +206,8 @@ impl TagCache {
 
     /// Invalidates `addr` if present.
     pub fn invalidate(&mut self, addr: u64) {
-        let set = self.geom.set_of(addr);
-        let tag = self.geom.tag_of(addr);
+        let set = self.addr_map.set_of(addr);
+        let tag = self.addr_map.tag_of(addr);
         for way in 0..self.geom.ways {
             let id = self.geom.line_id(set, way);
             if self.tags[id] == Some(tag) {
@@ -177,14 +244,20 @@ pub enum WritePolicy {
 }
 
 /// The banked, write-through, fault-injected GPU L2 cache.
+///
+/// Line metadata is struct-of-arrays: valid/dirty flags are bit-packed 64
+/// lines to the word and tags/LRU stamps live in their own contiguous
+/// arrays, so victim search and tag match sweep flat memory instead of
+/// striding over per-line records.
 pub struct L2Cache {
     geom: CacheGeometry,
+    addr_map: AddrMap,
     tag_latency: u32,
     data_latency: u32,
     banks: usize,
     write_policy: WritePolicy,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    valid: BitVec,
+    dirty: BitVec,
     tags: Vec<u64>,
     data: Vec<Line512>,
     lru: Vec<u64>,
@@ -215,7 +288,7 @@ impl L2Cache {
         protection: Box<dyn LineProtection>,
     ) -> Self {
         let lines = geom.lines();
-        geom.sets(); // validate geometry
+        let addr_map = AddrMap::new(&geom); // validates geometry
         assert!(banks.is_power_of_two(), "banks must be a power of two");
         assert!(
             map.lines() >= lines,
@@ -225,12 +298,13 @@ impl L2Cache {
         );
         L2Cache {
             geom,
+            addr_map,
             tag_latency,
             data_latency,
             banks,
             write_policy: WritePolicy::default(),
-            valid: vec![false; lines],
-            dirty: vec![false; lines],
+            valid: BitVec::zeroed(lines),
+            dirty: BitVec::zeroed(lines),
             tags: vec![0; lines],
             data: vec![Line512::zero(); lines],
             lru: vec![0; lines],
@@ -293,7 +367,7 @@ impl L2Cache {
     }
 
     fn bank_of(&self, line_addr: u64) -> usize {
-        ((line_addr / self.geom.line_bytes as u64) % self.banks as u64) as usize
+        ((line_addr >> self.addr_map.line_shift) as usize) & (self.banks - 1)
     }
 
     /// Charges the bank queue and returns the queueing delay.
@@ -307,7 +381,7 @@ impl L2Cache {
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
         (0..self.geom.ways).find(|&w| {
             let id = self.geom.line_id(set, w);
-            self.valid[id] && self.tags[id] == tag
+            self.valid.get(id) && self.tags[id] == tag
         })
     }
 
@@ -322,7 +396,7 @@ impl L2Cache {
             let Some(class) = self.protection.victim_class(id) else {
                 continue; // disabled
             };
-            if !self.valid[id] {
+            if !self.valid.get(id) {
                 if best_invalid.is_none_or(|(c, _)| class < c) {
                     best_invalid = Some((class, w));
                 }
@@ -334,24 +408,24 @@ impl L2Cache {
     }
 
     fn invalidate_line(&mut self, id: LineId, notify: bool) {
-        if self.valid[id] {
+        if self.valid.get(id) {
             if notify {
                 let stored = self.data[id];
                 self.protection.on_evict(id, &stored);
             }
             self.retire_dirty(id);
-            self.valid[id] = false;
+            self.valid.set(id, false);
         }
     }
 
     /// Queues the write-back of a dirty line being removed; drained into
     /// memory by the access that triggered the eviction.
     fn retire_dirty(&mut self, id: LineId) {
-        if self.dirty[id] {
-            self.dirty[id] = false;
+        if self.dirty.get(id) {
+            self.dirty.set(id, false);
             self.stats.writebacks += 1;
             let set = id / self.geom.ways;
-            let addr = (self.tags[id] * self.geom.sets() as u64 + set as u64)
+            let addr = (self.tags[id] * self.addr_map.sets as u64 + set as u64)
                 * self.geom.line_bytes as u64;
             self.pending_writebacks.push(addr);
         }
@@ -367,7 +441,7 @@ impl L2Cache {
     /// reclassify it in place (an extra data-array read); invalidate it
     /// only if it cannot stand on its own.
     fn handle_displaced(&mut self, victim: LineId) {
-        if self.valid[victim] {
+        if self.valid.get(victim) {
             self.stats.l2_data_accesses += 1;
             let stored = self.data[victim];
             if self.protection.on_displaced(victim, &stored) {
@@ -378,15 +452,15 @@ impl L2Cache {
                 line: victim as u32,
             });
             self.retire_dirty(victim);
-            self.valid[victim] = false;
+            self.valid.set(victim, false);
         }
     }
 
     /// Invalidates any copy of `addr` (store path / external request),
     /// notifying the scheme so eviction-time training still happens.
     pub fn invalidate_addr(&mut self, addr: u64) {
-        let set = self.geom.set_of(addr);
-        let tag = self.geom.tag_of(addr);
+        let set = self.addr_map.set_of(addr);
+        let tag = self.addr_map.tag_of(addr);
         if let Some(w) = self.find_way(set, tag) {
             self.invalidate_line(self.geom.line_id(set, w), true);
         }
@@ -396,7 +470,7 @@ impl L2Cache {
     /// installed into (None when the set was unusable). Does not charge
     /// the memory latency (the caller accounts it).
     fn fill(&mut self, addr: u64, mem: &MainMemory) -> (u32, Option<LineId>) {
-        let set = self.geom.set_of(addr);
+        let set = self.addr_map.set_of(addr);
         // Eviction-time training may reclassify the chosen victim as
         // disabled; re-pick until a usable way survives its own eviction.
         let id = loop {
@@ -405,7 +479,7 @@ impl L2Cache {
                 return (0, None); // whole set disabled: serve from memory
             };
             let id = self.geom.line_id(set, way);
-            let was_valid = self.valid[id];
+            let was_valid = self.valid.get(id);
             self.invalidate_line(id, true); // train on eviction if it held data
             if let Some(class) = self.protection.victim_class(id) {
                 self.sink.emit(|| KilliEvent::VictimDecision {
@@ -433,9 +507,9 @@ impl L2Cache {
         let mut stored = intended;
         self.map.corrupt_data(id, &mut stored);
         self.data[id] = stored;
-        self.tags[id] = self.geom.tag_of(addr);
-        self.valid[id] = true;
-        self.dirty[id] = false;
+        self.tags[id] = self.addr_map.tag_of(addr);
+        self.valid.set(id, true);
+        self.dirty.set(id, false);
         self.clock += 1;
         self.lru[id] = self.clock;
         self.stats.l2_data_accesses += 1;
@@ -445,8 +519,8 @@ impl L2Cache {
     /// Services a load at time `now`. Returns total latency and hit/miss.
     pub fn access_load(&mut self, addr: u64, now: u64, mem: &mut MainMemory) -> LoadResult {
         let line_addr = self.geom.line_addr(addr);
-        let set = self.geom.set_of(addr);
-        let tag = self.geom.tag_of(addr);
+        let set = self.addr_map.set_of(addr);
+        let tag = self.addr_map.tag_of(addr);
         let mut latency = self.bank_delay(line_addr, now) + self.tag_latency;
         self.stats.l2_tag_accesses += 1;
 
@@ -479,12 +553,12 @@ impl L2Cache {
                     latency += self.data_latency + extra_cycles;
                     self.stats.l2_error_misses += 1;
                     self.sink.emit(|| KilliEvent::ErrorMiss { line: id as u32 });
-                    if self.dirty[id] {
+                    if self.dirty.get(id) {
                         // The only valid copy was corrupt: real data loss.
                         // (The refetch below returns the architecturally
                         // correct value so the simulation can continue.)
                         self.stats.dirty_data_loss += 1;
-                        self.dirty[id] = false;
+                        self.dirty.set(id, false);
                     }
                     self.invalidate_line(id, false); // scheme already updated
                 }
@@ -518,8 +592,8 @@ impl L2Cache {
                 self.invalidate_addr(addr);
             }
             WritePolicy::WriteThroughUpdate => {
-                let set = self.geom.set_of(addr);
-                let tag = self.geom.tag_of(addr);
+                let set = self.addr_map.set_of(addr);
+                let tag = self.addr_map.tag_of(addr);
                 if let Some(way) = self.find_way(set, tag) {
                     let id = self.geom.line_id(set, way);
                     // Re-install the fresh value through the scheme.
@@ -544,8 +618,8 @@ impl L2Cache {
                 // The architectural value advances; traffic happens only
                 // when the dirty line is eventually written back.
                 mem.bump_version(line_addr);
-                let set = self.geom.set_of(addr);
-                let tag = self.geom.tag_of(addr);
+                let set = self.addr_map.set_of(addr);
+                let tag = self.addr_map.tag_of(addr);
                 let id = match self.find_way(set, tag) {
                     Some(way) => {
                         let id = self.geom.line_id(set, way);
@@ -572,7 +646,7 @@ impl L2Cache {
                         let mut stored = intended;
                         self.map.corrupt_data(id, &mut stored);
                         self.data[id] = stored;
-                        self.dirty[id] = true;
+                        self.dirty.set(id, true);
                         self.stats.l2_data_accesses += 1;
                     } else {
                         // The scheme refuses to hold this dirty data: send

@@ -47,6 +47,29 @@ impl Trace {
         )
     }
 
+    /// Builds a trace over a shared op buffer without copying it. Many
+    /// simulations of the same (workload, seed) — e.g. every scheme cell of
+    /// a sweep replicate — can each call this on one `Arc`'d buffer; each
+    /// per-CU stream is a cursor into the shared vectors, yielding exactly
+    /// the ops `from_vecs` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cu` is empty.
+    pub fn from_shared(per_cu: std::sync::Arc<Vec<Vec<TraceOp>>>) -> Self {
+        Self::new(
+            (0..per_cu.len())
+                .map(|cu| {
+                    Box::new(SharedStream {
+                        buf: std::sync::Arc::clone(&per_cu),
+                        cu,
+                        next: 0,
+                    }) as OpStream
+                })
+                .collect(),
+        )
+    }
+
     /// Number of compute units in the trace.
     pub fn cus(&self) -> usize {
         self.streams.len()
@@ -55,6 +78,29 @@ impl Trace {
     /// Consumes the trace into its streams.
     pub fn into_streams(self) -> Vec<OpStream> {
         self.streams
+    }
+}
+
+/// Cursor over one CU's ops inside a shared buffer (see
+/// [`Trace::from_shared`]).
+struct SharedStream {
+    buf: std::sync::Arc<Vec<Vec<TraceOp>>>,
+    cu: usize,
+    next: usize,
+}
+
+impl Iterator for SharedStream {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        let op = self.buf[self.cu].get(self.next).copied();
+        self.next += 1;
+        op
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.buf[self.cu].len().saturating_sub(self.next);
+        (rem, Some(rem))
     }
 }
 
@@ -84,5 +130,23 @@ mod tests {
     #[should_panic(expected = "at least one CU")]
     fn empty_trace_rejected() {
         Trace::new(Vec::new());
+    }
+
+    #[test]
+    fn shared_trace_yields_same_ops_as_owned() {
+        let ops = vec![
+            vec![TraceOp::Load(0), TraceOp::Compute(5), TraceOp::Store(64)],
+            vec![TraceOp::Store(128)],
+            vec![],
+        ];
+        let shared = std::sync::Arc::new(ops.clone());
+        // Two traces over one buffer, plus the owned reference.
+        for _ in 0..2 {
+            let t = Trace::from_shared(std::sync::Arc::clone(&shared));
+            assert_eq!(t.cus(), 3);
+            let got: Vec<Vec<TraceOp>> =
+                t.into_streams().into_iter().map(|s| s.collect()).collect();
+            assert_eq!(got, ops);
+        }
     }
 }

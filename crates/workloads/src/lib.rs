@@ -133,11 +133,22 @@ impl Workload {
     ///
     /// Panics if `params.cus == 0`.
     pub fn trace(&self, params: &TraceParams) -> Trace {
+        Trace::from_vecs(self.ops(params))
+    }
+
+    /// Generates the raw per-CU op vectors behind [`Self::trace`]. Callers
+    /// that replay one workload trace many times (the sweep's scheme grid)
+    /// generate these once, share them in an `Arc`, and wrap each replay
+    /// with [`Trace::from_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.cus == 0`.
+    pub fn ops(&self, params: &TraceParams) -> Vec<Vec<TraceOp>> {
         assert!(params.cus > 0, "need at least one CU");
-        let streams = (0..params.cus)
+        (0..params.cus)
             .map(|cu| self.ops_for_cu(params, cu))
-            .collect::<Vec<_>>();
-        Trace::from_vecs(streams)
+            .collect()
     }
 
     fn ops_for_cu(&self, params: &TraceParams, cu: usize) -> Vec<TraceOp> {
