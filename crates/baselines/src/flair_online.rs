@@ -8,13 +8,22 @@
 //! every way pair has been characterized. This module implements that
 //! training dynamic so its cost can be quantified against Killi's
 //! always-on-full-bandwidth learning.
+//!
+//! Structurally this is the pipeline with a stateful classifier: the
+//! [`SecdedLineCodec`] and [`LineStore`] layers are the plain FLAIR ones,
+//! while [`PairTestClassifier`] carries the rotating-MBIST phase machine
+//! (its `on_access` hook is the training clock, and `observe` feedback
+//! counts the DMR rescues).
 
 use std::sync::Arc;
 
+use killi::pipeline::{
+    CodecVerdict, FaultClassifier, LineStore, PassthroughPolicy, ProtectionPipeline,
+    SecdedLineCodec,
+};
 use killi_ecc::bits::Line512;
-use killi_ecc::secded::{secded, SecdedCode, SecdedDecode};
 use killi_fault::map::{FaultMap, LineId};
-use killi_obs::{Counter, KilliEvent, MetricSet, Sink};
+use killi_obs::{MetricSet, Sink};
 use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 /// Training progress.
@@ -27,8 +36,9 @@ enum Phase {
     Steady,
 }
 
-/// FLAIR with its online DMR + rotating-MBIST characterization phase.
-pub struct FlairOnline {
+/// FLAIR's online classifier: a rotating MBIST over way pairs that learns
+/// the per-line disable map the offline oracle would have provided.
+pub struct PairTestClassifier {
     map: Arc<FaultMap>,
     l2_ways: usize,
     /// L2 accesses spent testing one way pair.
@@ -37,29 +47,19 @@ pub struct FlairOnline {
     accesses: u64,
     tested: Vec<bool>,
     disabled: Vec<bool>,
-    codes: Vec<Option<SecdedCode>>,
-    corrections: u64,
-    detections: u64,
     dmr_saves: u64,
-    sink: Sink,
 }
 
-impl FlairOnline {
-    /// Builds the scheme; `accesses_per_pair` controls how long each MBIST
-    /// round lasts in L2 accesses.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fault map is too small or `l2_ways` is odd.
+impl PairTestClassifier {
+    /// A classifier for `l2_lines` lines of `l2_ways` associativity;
+    /// `accesses_per_pair` controls how long each MBIST round lasts.
     pub fn new(
         map: Arc<FaultMap>,
         l2_lines: usize,
         l2_ways: usize,
         accesses_per_pair: u64,
     ) -> Self {
-        assert!(map.lines() >= l2_lines, "fault map too small");
-        assert_eq!(l2_ways % 2, 0, "way pairs need an even way count");
-        FlairOnline {
+        PairTestClassifier {
             map,
             l2_ways,
             accesses_per_pair: accesses_per_pair.max(1),
@@ -67,11 +67,7 @@ impl FlairOnline {
             accesses: 0,
             tested: vec![false; l2_lines],
             disabled: vec![false; l2_lines],
-            codes: vec![None; l2_lines],
-            corrections: 0,
-            detections: 0,
             dmr_saves: 0,
-            sink: Sink::none(),
         }
     }
 
@@ -83,6 +79,11 @@ impl FlairOnline {
     /// Times the DMR path rescued data that SECDED alone could not.
     pub fn dmr_saves(&self) -> u64 {
         self.dmr_saves
+    }
+
+    /// Training-clock accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
     }
 
     fn way_of(&self, line: LineId) -> usize {
@@ -117,25 +118,7 @@ impl FlairOnline {
     }
 }
 
-impl LineProtection for FlairOnline {
-    fn name(&self) -> &str {
-        "flair-online"
-    }
-
-    fn reset(&mut self) {
-        self.phase = Phase::Training { pair: 0 };
-        self.accesses = 0;
-        for t in &mut self.tested {
-            *t = false;
-        }
-        for d in &mut self.disabled {
-            *d = false;
-        }
-        for c in &mut self.codes {
-            *c = None;
-        }
-    }
-
+impl FaultClassifier for PairTestClassifier {
     fn victim_class(&self, line: LineId) -> Option<u8> {
         match self.phase {
             Phase::Training { pair } => {
@@ -154,97 +137,144 @@ impl LineProtection for FlairOnline {
         }
     }
 
-    fn on_fill(&mut self, line: LineId, data: &Line512) -> FillOutcome {
+    fn disabled_lines(&self) -> u64 {
+        self.disabled.iter().filter(|&&d| d).count() as u64
+    }
+
+    fn on_access(&mut self) {
         self.tick();
-        self.codes[line] = Some(self.map.corrupt_secded(line, secded().encode(data)));
-        FillOutcome::default()
+    }
+
+    fn observe(&mut self, line: LineId, verdict: CodecVerdict) {
+        // A detected-uncorrectable pattern on an untested (DMR'd) line is
+        // repaired by the duplicate copy; the pipeline still refreshes the
+        // array content via an error miss, we just count the rescue.
+        if verdict == CodecVerdict::Uncorrectable
+            && matches!(self.phase, Phase::Training { .. })
+            && !self.tested[line]
+        {
+            self.dmr_saves += 1;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.phase = Phase::Training { pair: 0 };
+        self.accesses = 0;
+        for t in &mut self.tested {
+            *t = false;
+        }
+        for d in &mut self.disabled {
+            *d = false;
+        }
+    }
+
+    fn fill_metrics(&self, _m: &mut MetricSet) {}
+}
+
+/// FLAIR with its online DMR + rotating-MBIST characterization phase.
+pub struct FlairOnline {
+    pipe: ProtectionPipeline<SecdedLineCodec, LineStore, PairTestClassifier, PassthroughPolicy>,
+}
+
+impl FlairOnline {
+    /// Builds the scheme; `accesses_per_pair` controls how long each MBIST
+    /// round lasts in L2 accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault map is too small or `l2_ways` is odd.
+    pub fn new(
+        map: Arc<FaultMap>,
+        l2_lines: usize,
+        l2_ways: usize,
+        accesses_per_pair: u64,
+    ) -> Self {
+        match Self::try_new(map, l2_lines, l2_ways, accesses_per_pair) {
+            Ok(scheme) => scheme,
+            Err(message) => panic!("{message}"),
+        }
+    }
+
+    /// Fallible construction (the registry path).
+    pub fn try_new(
+        map: Arc<FaultMap>,
+        l2_lines: usize,
+        l2_ways: usize,
+        accesses_per_pair: u64,
+    ) -> Result<Self, String> {
+        if map.lines() < l2_lines {
+            return Err("fault map too small".to_string());
+        }
+        if !l2_ways.is_multiple_of(2) {
+            return Err("way pairs need an even way count".to_string());
+        }
+        let classifier =
+            PairTestClassifier::new(Arc::clone(&map), l2_lines, l2_ways, accesses_per_pair);
+        Ok(FlairOnline {
+            pipe: ProtectionPipeline::new(
+                "flair-online",
+                SecdedLineCodec::new(map),
+                LineStore::new(l2_lines),
+                classifier,
+                PassthroughPolicy,
+            ),
+        })
+    }
+
+    /// True once every way pair has been characterized.
+    pub fn steady(&self) -> bool {
+        self.pipe.classifier().steady()
+    }
+
+    /// Times the DMR path rescued data that SECDED alone could not.
+    pub fn dmr_saves(&self) -> u64 {
+        self.pipe.classifier().dmr_saves()
+    }
+}
+
+impl LineProtection for FlairOnline {
+    fn name(&self) -> &str {
+        self.pipe.name()
+    }
+
+    fn reset(&mut self) {
+        self.pipe.reset();
+    }
+
+    fn victim_class(&self, line: LineId) -> Option<u8> {
+        self.pipe.victim_class(line)
+    }
+
+    fn on_fill(&mut self, line: LineId, data: &Line512) -> FillOutcome {
+        self.pipe.on_fill(line, data)
     }
 
     fn on_read_hit(&mut self, line: LineId, stored: &mut Line512) -> ReadOutcome {
-        self.tick();
-        let Some(code) = self.codes[line] else {
-            debug_assert!(false, "read hit without stored checkbits");
-            return ReadOutcome::ErrorMiss { extra_cycles: 0 };
-        };
-        let dmr = matches!(self.phase, Phase::Training { .. }) && !self.tested[line];
-        let outcome = match secded().decode(stored, code) {
-            SecdedDecode::Clean | SecdedDecode::CorrectedCheck => ReadOutcome::Clean {
-                extra_cycles: 0,
-                corrected: false,
-            },
-            SecdedDecode::CorrectedData { bit } => {
-                stored.flip_bit(bit);
-                self.corrections += 1;
-                ReadOutcome::Clean {
-                    extra_cycles: 0,
-                    corrected: true,
-                }
-            }
-            SecdedDecode::DetectedDouble | SecdedDecode::DetectedUncorrectable => {
-                if dmr {
-                    // The mirror copy supplies the data: no miss, but the
-                    // simulator cannot reconstruct the payload here, so the
-                    // line is refreshed through an error miss *without*
-                    // charging memory? DMR reads both copies anyway — model
-                    // it as a rescued (clean) access.
-                    self.dmr_saves += 1;
-                    // The mirrored copy occupies the odd partner way, which
-                    // the simulator does not materialize; rebuilding the
-                    // data requires the architectural copy, so report a
-                    // corrected hit and let the SDC check validate it via
-                    // the correction path below.
-                    // A detected-uncorrectable pattern under DMR is repaired
-                    // by the duplicate: treat as an error miss with zero
-                    // extra penalty to refresh the array content.
-                }
-                self.detections += 1;
-                self.codes[line] = None;
-                ReadOutcome::ErrorMiss { extra_cycles: 0 }
-            }
-        };
-        self.sink.emit(|| KilliEvent::SyndromeObservation {
-            line: line as u32,
-            corrected: matches!(
-                outcome,
-                ReadOutcome::Clean {
-                    corrected: true,
-                    ..
-                }
-            ),
-            detected: matches!(outcome, ReadOutcome::ErrorMiss { .. }),
-        });
-        outcome
+        self.pipe.on_read_hit(line, stored)
     }
 
-    fn on_evict(&mut self, line: LineId, _stored: &Line512) {
-        self.codes[line] = None;
+    fn on_evict(&mut self, line: LineId, stored: &Line512) {
+        self.pipe.on_evict(line, stored);
     }
 
     fn hit_latency_extra(&self) -> u32 {
-        1
+        self.pipe.hit_latency_extra()
     }
 
     fn attach_sink(&mut self, sink: Sink) {
-        self.sink = sink;
+        self.pipe.attach_sink(sink);
     }
 
     fn metrics(&self) -> MetricSet {
-        let mut m = MetricSet::new();
-        m.set(
-            Counter::DisabledLines,
-            self.disabled.iter().filter(|&&d| d).count() as u64,
-        );
-        m.set(Counter::Corrections, self.corrections);
-        m.set(Counter::Detections, self.detections);
-        m
+        self.pipe.metrics()
     }
 }
 
 impl std::fmt::Debug for FlairOnline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlairOnline")
-            .field("phase", &self.phase)
-            .field("accesses", &self.accesses)
+            .field("phase", &self.pipe.classifier().phase)
+            .field("accesses", &self.pipe.classifier().accesses())
             .finish()
     }
 }
@@ -342,5 +372,12 @@ mod tests {
         assert!(s.steady());
         s.reset();
         assert!(!s.steady());
+    }
+
+    #[test]
+    fn try_new_reports_odd_way_count() {
+        let map = map_with(vec![], 32);
+        let err = FlairOnline::try_new(map, 32, 15, 1).unwrap_err();
+        assert_eq!(err, "way pairs need an even way count");
     }
 }

@@ -12,11 +12,133 @@
 //! All baselines run on the identical simulator substrate as Killi via the
 //! `LineProtection` trait; the only privileged information they receive is
 //! the MBIST-equivalent oracle disable map, matching the paper's
-//! methodology.
+//! methodology. Each is a composition of the `killi::pipeline` layers, and
+//! [`register_baselines`] declares them all to a
+//! [`killi::registry::SchemeRegistry`].
 
 pub mod flair_online;
 pub mod msecc;
 pub mod per_line;
 
+use killi::registry::{BuildError, ParamSpec, ParamValue, SchemeDescriptor, SchemeRegistry};
+
+pub use flair_online::FlairOnline;
 pub use msecc::MsEcc;
 pub use per_line::{EccStrength, PerLineEcc};
+
+/// Maps a constructor's `Err(String)` onto a typed geometry error.
+fn geometry_err(scheme: &'static str) -> impl Fn(String) -> BuildError {
+    move |reason| BuildError::Geometry {
+        scheme: scheme.to_string(),
+        reason,
+    }
+}
+
+/// Registers the baseline schemes (`flair`, `secded`, `dected`,
+/// `flair-online`, `ms-ecc`) as declarative registry entries.
+pub fn register_baselines(registry: &mut SchemeRegistry) {
+    registry.register(SchemeDescriptor {
+        name: "flair",
+        doc: "per-line SECDED with >= 2-fault lines disabled (FLAIR steady state)",
+        params: Vec::new(),
+        label: |_| "flair".to_string(),
+        build: |_, ctx| {
+            let scheme = PerLineEcc::try_new(
+                "flair",
+                EccStrength::Secded,
+                std::sync::Arc::clone(&ctx.fault_map),
+                ctx.geometry.lines(),
+            )
+            .map_err(geometry_err("flair"))?;
+            Ok(Box::new(scheme))
+        },
+    });
+
+    registry.register(SchemeDescriptor {
+        name: "secded",
+        doc: "plain per-line SECDED (the Table 5 area-normalization baseline)",
+        params: Vec::new(),
+        label: |_| "secded".to_string(),
+        build: |_, ctx| {
+            let scheme = PerLineEcc::try_new(
+                "secded",
+                EccStrength::Secded,
+                std::sync::Arc::clone(&ctx.fault_map),
+                ctx.geometry.lines(),
+            )
+            .map_err(geometry_err("secded"))?;
+            Ok(Box::new(scheme))
+        },
+    });
+
+    registry.register(SchemeDescriptor {
+        name: "dected",
+        doc: "per-line DEC-TED with >= 3-fault lines disabled",
+        params: Vec::new(),
+        label: |_| "dected".to_string(),
+        build: |_, ctx| {
+            let scheme = PerLineEcc::try_new(
+                "dected",
+                EccStrength::Dected,
+                std::sync::Arc::clone(&ctx.fault_map),
+                ctx.geometry.lines(),
+            )
+            .map_err(geometry_err("dected"))?;
+            Ok(Box::new(scheme))
+        },
+    });
+
+    registry.register(SchemeDescriptor {
+        name: "flair-online",
+        doc: "FLAIR with its online DMR + rotating-MBIST training cost",
+        params: vec![ParamSpec {
+            name: "accesses_per_pair",
+            doc: "L2 accesses spent testing each way pair (0 = lines x 4)",
+            default: ParamValue::U64(0),
+        }],
+        label: |_| "flair-online".to_string(),
+        build: |p, ctx| {
+            let lines = ctx.geometry.lines();
+            let per_pair = match p.u64("accesses_per_pair") {
+                0 => lines as u64 * 4,
+                n => n,
+            };
+            let scheme = FlairOnline::try_new(
+                std::sync::Arc::clone(&ctx.fault_map),
+                lines,
+                ctx.geometry.ways,
+                per_pair,
+            )
+            .map_err(geometry_err("flair-online"))?;
+            Ok(Box::new(scheme))
+        },
+    });
+
+    registry.register(SchemeDescriptor {
+        name: "ms-ecc",
+        doc: "OLSC(m, t) on every line, ~11-fault correction (MS-ECC, MICRO'09)",
+        params: vec![
+            ParamSpec {
+                name: "m",
+                doc: "OLSC block width in bits (4, 8 or 16)",
+                default: ParamValue::U64(8),
+            },
+            ParamSpec {
+                name: "t",
+                doc: "corrections per block (1 <= t, 2t <= m+1)",
+                default: ParamValue::U64(2),
+            },
+        ],
+        label: |_| "ms-ecc".to_string(),
+        build: |p, ctx| {
+            let scheme = MsEcc::try_with_code(
+                std::sync::Arc::clone(&ctx.fault_map),
+                ctx.geometry.lines(),
+                p.u64("m") as usize,
+                p.u64("t") as usize,
+            )
+            .map_err(geometry_err("ms-ecc"))?;
+            Ok(Box::new(scheme))
+        },
+    });
+}

@@ -9,23 +9,23 @@
 //! Checkbits are modelled as protected storage (not stuck-at corrupted) —
 //! the paper likewise credits MS-ECC with full-strength correction; this
 //! slightly favours MS-ECC and is recorded in EXPERIMENTS.md.
+//!
+//! The scheme is the pipeline composition [`OlscBlockCodec`] +
+//! [`LineStore`] + [`OracleClassifier`] + [`PassthroughPolicy`].
 
 use std::sync::Arc;
 
+use killi::pipeline::{
+    LineStore, OlscBlockCodec, OracleClassifier, PassthroughPolicy, ProtectionPipeline,
+};
 use killi_ecc::bits::Line512;
-use killi_ecc::olsc::{OlscDecode, OlscLine};
 use killi_fault::map::{FaultMap, LineId};
-use killi_obs::{Counter, KilliEvent, MetricSet, Sink};
+use killi_obs::{MetricSet, Sink};
 use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 /// The MS-ECC protection scheme.
 pub struct MsEcc {
-    codec: OlscLine,
-    disabled: Vec<bool>,
-    codes: Vec<Option<Vec<bool>>>,
-    corrections: u64,
-    detections: u64,
-    sink: Sink,
+    pipe: ProtectionPipeline<OlscBlockCodec, LineStore, OracleClassifier, PassthroughPolicy>,
 }
 
 impl MsEcc {
@@ -45,122 +45,96 @@ impl MsEcc {
     ///
     /// Panics on unsupported OLSC parameters or an undersized fault map.
     pub fn with_code(map: Arc<FaultMap>, l2_lines: usize, m: usize, t: usize) -> Self {
-        assert!(map.lines() >= l2_lines, "fault map too small");
-        let codec = OlscLine::new(m, t);
-        let block_bits = m * m;
-        // Oracle: disable lines with more than `t` data faults in any block.
-        let disabled = (0..l2_lines)
-            .map(|l| {
-                let mut per_block = vec![0usize; 512 / block_bits];
-                for f in map.line(l) {
-                    if (f.cell as usize) < 512 {
-                        per_block[f.cell as usize / block_bits] += 1;
-                    }
-                }
-                per_block.iter().any(|&n| n > t)
-            })
-            .collect();
-        let _ = map;
-        MsEcc {
-            codec,
-            disabled,
-            codes: vec![None; l2_lines],
-            corrections: 0,
-            detections: 0,
-            sink: Sink::none(),
+        match Self::try_with_code(map, l2_lines, m, t) {
+            Ok(scheme) => scheme,
+            Err(message) => panic!("{message}"),
         }
+    }
+
+    /// Fallible construction (the registry path): validates the OLSC
+    /// geometry and map coverage instead of panicking.
+    pub fn try_with_code(
+        map: Arc<FaultMap>,
+        l2_lines: usize,
+        m: usize,
+        t: usize,
+    ) -> Result<Self, String> {
+        if map.lines() < l2_lines {
+            return Err("fault map too small".to_string());
+        }
+        if !matches!(m, 4 | 8 | 16) {
+            return Err(format!("OLSC block width m={m} is not one of 4, 8, 16"));
+        }
+        if t == 0 || 2 * t > m + 1 {
+            return Err(format!(
+                "OLSC t={t} out of range for m={m} (need 1 <= t, 2t <= m+1)"
+            ));
+        }
+        if 2 * t * m > 256 {
+            return Err(format!(
+                "OLSC({m}, {t}) checkbits ({}) exceed the 256-bit payload",
+                2 * t * m
+            ));
+        }
+        // Oracle: disable lines with more than `t` data faults in any block.
+        let oracle = OracleClassifier::from_block_budget(&map, l2_lines, m * m, t);
+        Ok(MsEcc {
+            pipe: ProtectionPipeline::new(
+                "ms-ecc",
+                OlscBlockCodec::new(m, t),
+                LineStore::new(l2_lines),
+                oracle,
+                PassthroughPolicy,
+            ),
+        })
     }
 
     /// Number of lines the oracle disabled.
     pub fn disabled_count(&self) -> usize {
-        self.disabled.iter().filter(|&&d| d).count()
+        self.pipe.classifier().disabled_count()
     }
 
     /// Checkbits per line of the configured code.
     pub fn check_bits_per_line(&self) -> usize {
-        self.codec.check_bits()
+        self.pipe.codec().check_bits()
     }
 }
 
 impl LineProtection for MsEcc {
     fn name(&self) -> &str {
-        "ms-ecc"
+        self.pipe.name()
     }
 
     fn reset(&mut self) {
-        for c in &mut self.codes {
-            *c = None;
-        }
+        self.pipe.reset();
     }
 
     fn victim_class(&self, line: LineId) -> Option<u8> {
-        (!self.disabled[line]).then_some(0)
+        self.pipe.victim_class(line)
     }
 
     fn on_fill(&mut self, line: LineId, data: &Line512) -> FillOutcome {
-        debug_assert!(!self.disabled[line], "fill into a disabled line");
-        self.codes[line] = Some(self.codec.encode(data));
-        FillOutcome::default()
+        self.pipe.on_fill(line, data)
     }
 
     fn on_read_hit(&mut self, line: LineId, stored: &mut Line512) -> ReadOutcome {
-        let Some(code) = self.codes[line].as_deref() else {
-            debug_assert!(false, "read hit without stored checkbits");
-            return ReadOutcome::ErrorMiss { extra_cycles: 0 };
-        };
-        // Decode needs ownership-free access; clone the small bit vector.
-        let code = code.to_vec();
-        let outcome = match self.codec.decode(stored, &code) {
-            OlscDecode::Clean => ReadOutcome::Clean {
-                extra_cycles: 0,
-                corrected: false,
-            },
-            OlscDecode::Corrected { bits } => {
-                self.corrections += 1;
-                let _ = bits;
-                ReadOutcome::Clean {
-                    extra_cycles: 0,
-                    corrected: true,
-                }
-            }
-            OlscDecode::Detected => {
-                self.detections += 1;
-                self.codes[line] = None;
-                ReadOutcome::ErrorMiss { extra_cycles: 0 }
-            }
-        };
-        self.sink.emit(|| KilliEvent::SyndromeObservation {
-            line: line as u32,
-            corrected: matches!(
-                outcome,
-                ReadOutcome::Clean {
-                    corrected: true,
-                    ..
-                }
-            ),
-            detected: matches!(outcome, ReadOutcome::ErrorMiss { .. }),
-        });
-        outcome
+        self.pipe.on_read_hit(line, stored)
     }
 
-    fn on_evict(&mut self, line: LineId, _stored: &Line512) {
-        self.codes[line] = None;
+    fn on_evict(&mut self, line: LineId, stored: &Line512) {
+        self.pipe.on_evict(line, stored);
     }
 
     fn hit_latency_extra(&self) -> u32 {
-        1 // majority-logic decoding is single-cycle-class logic
+        self.pipe.hit_latency_extra() // majority-logic decoding is single-cycle-class logic
     }
 
     fn attach_sink(&mut self, sink: Sink) {
-        self.sink = sink;
+        self.pipe.attach_sink(sink);
     }
 
     fn metrics(&self) -> MetricSet {
-        let mut m = MetricSet::new();
-        m.set(Counter::DisabledLines, self.disabled_count() as u64);
-        m.set(Counter::Corrections, self.corrections);
-        m.set(Counter::Detections, self.detections);
-        m
+        self.pipe.metrics()
     }
 }
 
@@ -261,5 +235,16 @@ mod tests {
         let s = MsEcc::new(map, 16);
         // 256 checkbits per 512-bit line: the ~18x-SECDED area class.
         assert_eq!(s.check_bits_per_line(), 256);
+    }
+
+    #[test]
+    fn try_with_code_reports_bad_geometry() {
+        let map = map_with(vec![]);
+        let err = MsEcc::try_with_code(Arc::clone(&map), 16, 5, 2).unwrap_err();
+        assert!(err.contains("block width"), "{err}");
+        let err = MsEcc::try_with_code(Arc::clone(&map), 16, 8, 5).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = MsEcc::try_with_code(map, 64, 8, 2).unwrap_err();
+        assert_eq!(err, "fault map too small");
     }
 }

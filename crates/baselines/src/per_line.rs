@@ -11,15 +11,22 @@
 //! the DECTED baseline disables >= 3-fault lines. Checkbits live in the
 //! low-voltage array, so they are subject to stuck-at corruption like the
 //! data.
+//!
+//! Both are pure pipeline compositions: a per-line codec + [`LineStore`] +
+//! [`OracleClassifier`] + [`PassthroughPolicy`].
 
 use std::sync::Arc;
 
-use killi_ecc::bch::{dected, DectedCode, DectedDecode};
+use killi::pipeline::{
+    CodecVerdict, DectedLineCodec, DetectionCodec, LineStore, OracleClassifier, PassthroughPolicy,
+    ProtectionPipeline, SecdedLineCodec,
+};
 use killi_ecc::bits::Line512;
-use killi_ecc::secded::{secded, SecdedCode, SecdedDecode};
 use killi_fault::map::{layout, FaultMap, LineId};
-use killi_obs::{Counter, KilliEvent, MetricSet, Sink};
+use killi_obs::{MetricSet, Sink};
 use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
+
+use killi::ecc_cache::EccPayload;
 
 /// Which per-line code a [`PerLineEcc`] baseline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,13 +45,6 @@ impl EccStrength {
         }
     }
 
-    fn check_latency(self) -> u32 {
-        match self {
-            EccStrength::Secded => 1,
-            EccStrength::Dected => 2, // the wider decoder is slower
-        }
-    }
-
     fn checkbit_cells(self) -> std::ops::Range<u16> {
         match self {
             EccStrength::Secded => layout::SECDED,
@@ -53,22 +53,42 @@ impl EccStrength {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum StoredCode {
-    Secded(SecdedCode),
-    Dected(DectedCode),
+/// Either per-line codec, selected by [`EccStrength`].
+#[derive(Debug, Clone)]
+pub enum PerLineCodec {
+    /// SECDED(523, 512).
+    Secded(SecdedLineCodec),
+    /// DEC-TED BCH.
+    Dected(DectedLineCodec),
+}
+
+impl DetectionCodec for PerLineCodec {
+    fn check_latency(&self) -> u32 {
+        match self {
+            PerLineCodec::Secded(c) => c.check_latency(),
+            PerLineCodec::Dected(c) => c.check_latency(),
+        }
+    }
+
+    fn encode(&mut self, line: LineId, data: &Line512) -> EccPayload {
+        match self {
+            PerLineCodec::Secded(c) => c.encode(line, data),
+            PerLineCodec::Dected(c) => c.encode(line, data),
+        }
+    }
+
+    fn check(&mut self, line: LineId, stored: &mut Line512, payload: &EccPayload) -> CodecVerdict {
+        match self {
+            PerLineCodec::Secded(c) => c.check(line, stored, payload),
+            PerLineCodec::Dected(c) => c.check(line, stored, payload),
+        }
+    }
 }
 
 /// A pre-characterized per-line ECC baseline scheme.
 pub struct PerLineEcc {
-    name: &'static str,
     strength: EccStrength,
-    map: Arc<FaultMap>,
-    disabled: Vec<bool>,
-    codes: Vec<Option<StoredCode>>,
-    corrections: u64,
-    detections: u64,
-    sink: Sink,
+    pipe: ProtectionPipeline<PerLineCodec, LineStore, OracleClassifier, PassthroughPolicy>,
 }
 
 impl PerLineEcc {
@@ -85,23 +105,42 @@ impl PerLineEcc {
         map: Arc<FaultMap>,
         l2_lines: usize,
     ) -> Self {
-        assert!(map.lines() >= l2_lines, "fault map too small");
-        let disabled = (0..l2_lines)
-            .map(|l| {
-                let faults = map.data_fault_count(l) + map.count_in(l, strength.checkbit_cells());
-                faults >= strength.disable_threshold()
-            })
-            .collect();
-        PerLineEcc {
-            name,
-            strength,
-            map,
-            disabled,
-            codes: vec![None; l2_lines],
-            corrections: 0,
-            detections: 0,
-            sink: Sink::none(),
+        match Self::try_new(name, strength, map, l2_lines) {
+            Ok(scheme) => scheme,
+            Err(message) => panic!("{message}"),
         }
+    }
+
+    /// Fallible construction (the registry path).
+    pub fn try_new(
+        name: &'static str,
+        strength: EccStrength,
+        map: Arc<FaultMap>,
+        l2_lines: usize,
+    ) -> Result<Self, String> {
+        if map.lines() < l2_lines {
+            return Err("fault map too small".to_string());
+        }
+        let oracle = OracleClassifier::from_threshold(
+            &map,
+            l2_lines,
+            strength.checkbit_cells(),
+            strength.disable_threshold(),
+        );
+        let codec = match strength {
+            EccStrength::Secded => PerLineCodec::Secded(SecdedLineCodec::new(map)),
+            EccStrength::Dected => PerLineCodec::Dected(DectedLineCodec::new(map)),
+        };
+        Ok(PerLineEcc {
+            strength,
+            pipe: ProtectionPipeline::new(
+                name,
+                codec,
+                LineStore::new(l2_lines),
+                oracle,
+                PassthroughPolicy,
+            ),
+        })
     }
 
     /// SECDED-per-line with >= 2-fault lines disabled: FLAIR's post-training
@@ -123,134 +162,53 @@ impl PerLineEcc {
 
     /// Number of lines the oracle disabled.
     pub fn disabled_count(&self) -> usize {
-        self.disabled.iter().filter(|&&d| d).count()
+        self.pipe.classifier().disabled_count()
     }
 }
 
 impl LineProtection for PerLineEcc {
     fn name(&self) -> &str {
-        self.name
+        self.pipe.name()
     }
 
     fn reset(&mut self) {
         // Pre-characterized state persists; only cached codes go away.
-        for c in &mut self.codes {
-            *c = None;
-        }
+        self.pipe.reset();
     }
 
     fn victim_class(&self, line: LineId) -> Option<u8> {
-        (!self.disabled[line]).then_some(0)
+        self.pipe.victim_class(line)
     }
 
     fn on_fill(&mut self, line: LineId, data: &Line512) -> FillOutcome {
-        debug_assert!(!self.disabled[line], "fill into a disabled line");
-        self.codes[line] = Some(match self.strength {
-            EccStrength::Secded => {
-                StoredCode::Secded(self.map.corrupt_secded(line, secded().encode(data)))
-            }
-            EccStrength::Dected => {
-                StoredCode::Dected(self.map.corrupt_dected(line, dected().encode(data)))
-            }
-        });
-        FillOutcome::default()
+        self.pipe.on_fill(line, data)
     }
 
     fn on_read_hit(&mut self, line: LineId, stored: &mut Line512) -> ReadOutcome {
-        let Some(code) = self.codes[line] else {
-            debug_assert!(false, "read hit without stored checkbits");
-            return ReadOutcome::ErrorMiss { extra_cycles: 0 };
-        };
-        let outcome = match code {
-            StoredCode::Secded(c) => match secded().decode(stored, c) {
-                SecdedDecode::Clean => ReadOutcome::Clean {
-                    extra_cycles: 0,
-                    corrected: false,
-                },
-                SecdedDecode::CorrectedCheck => ReadOutcome::Clean {
-                    extra_cycles: 0,
-                    corrected: false,
-                },
-                SecdedDecode::CorrectedData { bit } => {
-                    stored.flip_bit(bit);
-                    self.corrections += 1;
-                    ReadOutcome::Clean {
-                        extra_cycles: 0,
-                        corrected: true,
-                    }
-                }
-                SecdedDecode::DetectedDouble | SecdedDecode::DetectedUncorrectable => {
-                    // Write-through: refetch the clean copy from memory.
-                    self.detections += 1;
-                    self.codes[line] = None;
-                    ReadOutcome::ErrorMiss { extra_cycles: 0 }
-                }
-            },
-            StoredCode::Dected(c) => match dected().decode(stored, c) {
-                DectedDecode::Clean => ReadOutcome::Clean {
-                    extra_cycles: 0,
-                    corrected: false,
-                },
-                DectedDecode::Corrected { bits } => {
-                    let mut any = false;
-                    for bit in bits.into_iter().flatten() {
-                        stored.flip_bit(bit);
-                        any = true;
-                    }
-                    if any {
-                        self.corrections += 1;
-                    }
-                    ReadOutcome::Clean {
-                        extra_cycles: 0,
-                        corrected: any,
-                    }
-                }
-                DectedDecode::Detected => {
-                    self.detections += 1;
-                    self.codes[line] = None;
-                    ReadOutcome::ErrorMiss { extra_cycles: 0 }
-                }
-            },
-        };
-        self.sink.emit(|| KilliEvent::SyndromeObservation {
-            line: line as u32,
-            corrected: matches!(
-                outcome,
-                ReadOutcome::Clean {
-                    corrected: true,
-                    ..
-                }
-            ),
-            detected: matches!(outcome, ReadOutcome::ErrorMiss { .. }),
-        });
-        outcome
+        self.pipe.on_read_hit(line, stored)
     }
 
-    fn on_evict(&mut self, line: LineId, _stored: &Line512) {
-        self.codes[line] = None;
+    fn on_evict(&mut self, line: LineId, stored: &Line512) {
+        self.pipe.on_evict(line, stored);
     }
 
     fn hit_latency_extra(&self) -> u32 {
-        self.strength.check_latency()
+        self.pipe.hit_latency_extra()
     }
 
     fn attach_sink(&mut self, sink: Sink) {
-        self.sink = sink;
+        self.pipe.attach_sink(sink);
     }
 
     fn metrics(&self) -> MetricSet {
-        let mut m = MetricSet::new();
-        m.set(Counter::DisabledLines, self.disabled_count() as u64);
-        m.set(Counter::Corrections, self.corrections);
-        m.set(Counter::Detections, self.detections);
-        m
+        self.pipe.metrics()
     }
 }
 
 impl std::fmt::Debug for PerLineEcc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PerLineEcc")
-            .field("name", &self.name)
+            .field("name", &self.pipe.name())
             .field("strength", &self.strength)
             .field("disabled", &self.disabled_count())
             .finish()
@@ -376,5 +334,12 @@ mod tests {
         s.on_evict(0, &data);
         s.reset();
         assert_eq!(s.disabled_count(), 1, "oracle map survives reset");
+    }
+
+    #[test]
+    fn try_new_reports_undersized_map() {
+        let map = map_with(vec![]);
+        let err = PerLineEcc::try_new("flair", EccStrength::Secded, map, 64).unwrap_err();
+        assert_eq!(err, "fault map too small");
     }
 }

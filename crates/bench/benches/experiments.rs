@@ -82,11 +82,15 @@ fn bench_simulation_matrix() {
     bench("experiments/fig4_fig5_matrix_cell", || {
         black_box(run_matrix(
             &[Workload::Xsbench],
-            &[SchemeSpec::Killi(64)],
+            &[SchemeSpec::Killi(64).config()],
             &config,
         ))
     });
-    let results = run_matrix(&[Workload::Hacc], &SchemeSpec::figure4_set(), &config);
+    let figure4: Vec<_> = SchemeSpec::figure4_set()
+        .iter()
+        .map(SchemeSpec::config)
+        .collect();
+    let results = run_matrix(&[Workload::Hacc], &figure4, &config);
     bench("experiments/table6_power_inputs", || {
         black_box(experiments::table6(&results))
     });
@@ -96,7 +100,7 @@ fn bench_sweep_engine() {
     let config = SweepConfig {
         replications: 2,
         vdds: vec![0.625],
-        schemes: vec![SchemeSpec::Killi(64)],
+        schemes: vec![SchemeSpec::Killi(64).config()],
         workloads: vec![Workload::Fft],
         ops_per_cu: 2_000,
         gpu: small_gpu(),

@@ -26,7 +26,10 @@ fn main() {
     for (vdd, ratio) in [(0.600, 8usize), (0.575, 2)] {
         let config = SweepConfig {
             vdds: vec![vdd],
-            schemes: vec![SchemeSpec::MsEcc, SchemeSpec::KilliOlsc(ratio)],
+            schemes: vec![
+                SchemeSpec::MsEcc.config(),
+                SchemeSpec::KilliOlsc(ratio).config(),
+            ],
             workloads: vec![Workload::Xsbench, Workload::Pennant],
             gpu: GpuConfig::default(),
             progress_every: 8,

@@ -92,7 +92,11 @@ pub fn fig2(seed: u64) -> String {
 /// Runs the Figure 4/5 simulation matrix once; both figures and Table 6
 /// are derived from the result set.
 pub fn perf_matrix(config: &MatrixConfig) -> Vec<RunResult> {
-    run_matrix(&Workload::ALL, &SchemeSpec::figure4_set(), config)
+    let schemes: Vec<_> = SchemeSpec::figure4_set()
+        .iter()
+        .map(SchemeSpec::config)
+        .collect();
+    run_matrix(&Workload::ALL, &schemes, config)
 }
 
 /// Figure 4: kernel execution time normalized to the fault-free baseline.
@@ -346,7 +350,8 @@ pub fn ablations(config: &MatrixConfig) -> String {
         SchemeSpec::KilliInverted(64),
         SchemeSpec::FlairOnline,
     ];
-    let results = run_matrix(&workloads, &specs, config);
+    let configs: Vec<_> = specs.iter().map(SchemeSpec::config).collect();
+    let results = run_matrix(&workloads, &configs, config);
     let mut header = vec!["scheme".to_string()];
     for w in workloads {
         header.push(format!("{} time", w.name()));
@@ -387,7 +392,10 @@ pub fn lowvmin(base_config: &MatrixConfig) -> String {
         config.vdd = NormVdd(vdd);
         let results = run_matrix(
             &[Workload::Xsbench, Workload::Pennant],
-            &[SchemeSpec::MsEcc, SchemeSpec::KilliOlsc(ratio)],
+            &[
+                SchemeSpec::MsEcc.config(),
+                SchemeSpec::KilliOlsc(ratio).config(),
+            ],
             &config,
         );
         let mut t = Table::new(vec![

@@ -127,7 +127,7 @@ fn bench_sweep_config(quick: bool) -> SweepConfig {
             root_seed: 42,
             replications: 2,
             vdds: vec![0.65, 0.625],
-            schemes: vec![SchemeSpec::Killi(64)],
+            schemes: vec![SchemeSpec::Killi(64).config()],
             workloads: vec![Workload::Fft],
             ops_per_cu: 1500,
             gpu: GpuConfig {
@@ -148,7 +148,7 @@ fn bench_sweep_config(quick: bool) -> SweepConfig {
             root_seed: 42,
             replications: 8,
             vdds: vec![0.65, 0.625, 0.6],
-            schemes: vec![SchemeSpec::Killi(64)],
+            schemes: vec![SchemeSpec::Killi(64).config()],
             workloads: vec![Workload::Xsbench, Workload::Hacc],
             ops_per_cu: 5_000,
             gpu: GpuConfig::default(),
@@ -193,7 +193,7 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
     // 2. One (workload, scheme, vdd) cell. The "after" side replays the
     // prebuilt die table and op buffer, exactly as a sweep job does.
     let workload = config.workloads[0];
-    let spec = config.schemes[0];
+    let scheme = &config.schemes[0];
     let vdd = NormVdd(config.vdds[0]);
     let obs = ObsConfig::default();
     let params = killi_workloads::TraceParams {
@@ -212,7 +212,7 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
         ));
         run_cell(
             workload,
-            spec,
+            scheme,
             &config.gpu,
             config.ops_per_cu,
             &map,
@@ -226,7 +226,7 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
         let map = Arc::new(table.fault_map_at(&model, vdd));
         run_cell_traced(
             workload,
-            spec,
+            scheme,
             &config.gpu,
             Trace::from_shared(Arc::clone(&ops)),
             &map,

@@ -10,7 +10,7 @@ use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_sim::stats::SimStats;
 use killi_workloads::{TraceParams, Workload};
 
-use crate::schemes::{BuildCtx, SchemeSpec};
+use crate::schemes::{build_scheme, scheme_label, BuildCtx, SchemeConfig};
 
 /// Matrix configuration.
 #[derive(Debug, Clone, Copy)]
@@ -87,7 +87,7 @@ pub struct RunResult {
 /// engine build on. Results are a pure function of the arguments.
 pub fn run_cell(
     workload: Workload,
-    spec: SchemeSpec,
+    scheme: &SchemeConfig,
     gpu: &GpuConfig,
     ops_per_cu: usize,
     map: &Arc<FaultMap>,
@@ -102,7 +102,7 @@ pub fn run_cell(
     };
     run_cell_traced(
         workload,
-        spec,
+        scheme,
         gpu,
         workload.trace(&params),
         map,
@@ -119,7 +119,7 @@ pub fn run_cell(
 /// process and is stamped into the exported event trace.
 pub fn run_cell_traced(
     workload: Workload,
-    spec: SchemeSpec,
+    scheme: &SchemeConfig,
     gpu: &GpuConfig,
     trace: killi_sim::trace::Trace,
     map: &Arc<FaultMap>,
@@ -130,8 +130,11 @@ pub fn run_cell_traced(
         Some(capacity) => Sink::recording(capacity),
         None => Sink::none(),
     };
+    // Engines validate configs upfront (`SweepConfig::validate`, the CLI
+    // parser), so a failure here is a programming error, not user input.
+    let label = scheme_label(scheme).unwrap_or_else(|e| panic!("{e}"));
     let ctx = BuildCtx::new(Arc::clone(map), gpu.l2).with_sink(sink.clone());
-    let protection = spec.build(&ctx);
+    let protection = build_scheme(scheme, &ctx).unwrap_or_else(|e| panic!("{e}"));
     let mut sim = GpuSim::new(*gpu, Arc::clone(map), protection, trace_seed);
     sim.attach_sink(sink.clone());
     let stats = sim.run(trace);
@@ -145,7 +148,7 @@ pub fn run_cell_traced(
     let trace = sink.export_jsonl(&{
         let mut context: Vec<(&str, String)> = vec![
             ("workload", json_string(workload.name())),
-            ("scheme", json_string(&spec.label())),
+            ("scheme", json_string(&label)),
             ("trace_seed", trace_seed.to_string()),
         ];
         context.extend(obs.context.iter().map(|(k, v)| (*k, json_string(v))));
@@ -153,7 +156,7 @@ pub fn run_cell_traced(
     });
     RunResult {
         workload: workload.name(),
-        scheme: spec.label(),
+        scheme: label,
         stats,
         disabled_lines: disabled,
         metrics,
@@ -165,13 +168,13 @@ pub fn run_cell_traced(
 /// no-op sink.
 pub fn run_one(
     workload: Workload,
-    spec: SchemeSpec,
+    scheme: &SchemeConfig,
     config: &MatrixConfig,
     map: &Arc<FaultMap>,
 ) -> RunResult {
     run_cell(
         workload,
-        spec,
+        scheme,
         &config.gpu,
         config.ops_per_cu,
         map,
@@ -185,7 +188,7 @@ pub fn run_one(
 /// matrix order: baselines first, then workload-major over `schemes`.
 pub fn run_matrix(
     workloads: &[Workload],
-    schemes: &[SchemeSpec],
+    schemes: &[SchemeConfig],
     config: &MatrixConfig,
 ) -> Vec<RunResult> {
     let lines = config.gpu.l2.lines();
@@ -199,12 +202,13 @@ pub fn run_matrix(
     ));
     let free_map = Arc::new(FaultMap::fault_free(lines));
 
-    let mut jobs: Vec<(Workload, SchemeSpec)> = Vec::new();
+    let baseline = SchemeConfig::new("baseline");
+    let mut jobs: Vec<(Workload, &SchemeConfig)> = Vec::new();
     for &w in workloads {
-        jobs.push((w, SchemeSpec::Baseline));
+        jobs.push((w, &baseline));
     }
     for &w in workloads {
-        for &s in schemes {
+        for s in schemes {
             jobs.push((w, s));
         }
     }
@@ -235,6 +239,7 @@ pub fn try_baseline_of<'a>(results: &'a [RunResult], workload: &str) -> Option<&
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schemes::SchemeSpec;
     use killi_sim::cache::CacheGeometry;
 
     fn tiny_config() -> MatrixConfig {
@@ -262,7 +267,7 @@ mod tests {
         let config = tiny_config();
         let results = run_matrix(
             &[Workload::Hacc, Workload::Xsbench],
-            &[SchemeSpec::Flair, SchemeSpec::Killi(16)],
+            &[SchemeSpec::Flair.config(), SchemeSpec::Killi(16).config()],
             &config,
         );
         assert_eq!(results.len(), 2 + 2 * 2);
@@ -290,8 +295,8 @@ mod tests {
         c1.threads = 1;
         let mut c4 = tiny_config();
         c4.threads = 4;
-        let a = run_matrix(&[Workload::Fft], &[SchemeSpec::Killi(32)], &c1);
-        let b = run_matrix(&[Workload::Fft], &[SchemeSpec::Killi(32)], &c4);
+        let a = run_matrix(&[Workload::Fft], &[SchemeSpec::Killi(32).config()], &c1);
+        let b = run_matrix(&[Workload::Fft], &[SchemeSpec::Killi(32).config()], &c4);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.stats, y.stats, "{}/{}", x.workload, x.scheme);
@@ -305,7 +310,7 @@ mod tests {
         // fault — no silent corruption remains.
         let results = run_matrix(
             &[Workload::Xsbench, Workload::Fft],
-            &[SchemeSpec::KilliInverted(16)],
+            &[SchemeSpec::KilliInverted(16).config()],
             &tiny_config(),
         );
         for r in results.iter().filter(|r| r.scheme != "baseline") {
@@ -324,7 +329,10 @@ mod tests {
         config.vdd = NormVdd(0.55);
         let results = run_matrix(
             &[Workload::Fft],
-            &[SchemeSpec::Killi(16), SchemeSpec::KilliInverted(16)],
+            &[
+                SchemeSpec::Killi(16).config(),
+                SchemeSpec::KilliInverted(16).config(),
+            ],
             &config,
         );
         let sdc = |scheme: &str| {
@@ -345,7 +353,11 @@ mod tests {
     #[test]
     fn protected_schemes_never_run_faster_than_baseline_much() {
         let config = tiny_config();
-        let results = run_matrix(&[Workload::Hacc], &[SchemeSpec::Killi(16)], &config);
+        let results = run_matrix(
+            &[Workload::Hacc],
+            &[SchemeSpec::Killi(16).config()],
+            &config,
+        );
         let base = baseline_of(&results, "hacc");
         let killi = results.iter().find(|r| r.scheme == "killi-1:16").unwrap();
         let norm = killi.stats.normalized_time(&base.stats);

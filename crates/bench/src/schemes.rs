@@ -1,48 +1,45 @@
 //! Scheme factory shared by every experiment binary.
+//!
+//! Every scheme is built through the process-wide [`SchemeRegistry`]
+//! ([`default_registry`]): the Killi variants declared by
+//! `killi::registry::register_killi_schemes` plus the baselines from
+//! `killi_baselines::register_baselines`. [`SchemeSpec`] survives as a
+//! `Copy` convenience enum for the fixed experiment sets (Figure 4,
+//! ablations, lowvmin); it lowers to a declarative [`SchemeConfig`] via
+//! [`SchemeSpec::config`], so the registry remains the single point of
+//! construction and label formatting.
 
-use std::sync::Arc;
+use std::sync::OnceLock;
 
-use killi::scheme::{KilliConfig, KilliScheme};
-use killi_baselines::flair_online::FlairOnline;
-use killi_baselines::msecc::MsEcc;
-use killi_baselines::per_line::PerLineEcc;
-use killi_fault::map::FaultMap;
-use killi_obs::Sink;
-use killi_sim::cache::CacheGeometry;
-use killi_sim::protection::{LineProtection, Unprotected};
+use killi::registry::{register_killi_schemes, SchemeRegistry};
+use killi_baselines::register_baselines;
+use killi_sim::protection::LineProtection;
 
-/// Everything a scheme factory needs: the fault substrate, the cache shape
-/// it protects, and the observability sink its events flow into.
-///
-/// Replaces the old positional `build(&map, lines, ways)` signature so new
-/// wiring (like the sink) reaches every scheme without touching call sites
-/// again.
-#[derive(Debug, Clone)]
-pub struct BuildCtx {
-    /// Stuck-at fault population of the low-voltage array.
-    pub fault_map: Arc<FaultMap>,
-    /// Geometry of the L2 the scheme protects.
-    pub geometry: CacheGeometry,
-    /// Event sink handed to the scheme (defaults to the no-op sink).
-    pub sink: Sink,
+pub use killi::registry::{BuildCtx, BuildError, ParamValue, SchemeConfig};
+
+/// The process-wide registry with every built-in scheme declared
+/// (Killi variants + baselines).
+pub fn default_registry() -> &'static SchemeRegistry {
+    static REGISTRY: OnceLock<SchemeRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut registry = SchemeRegistry::new();
+        register_killi_schemes(&mut registry);
+        register_baselines(&mut registry);
+        registry
+    })
 }
 
-impl BuildCtx {
-    /// A context with the no-op sink.
-    pub fn new(fault_map: Arc<FaultMap>, geometry: CacheGeometry) -> Self {
-        BuildCtx {
-            fault_map,
-            geometry,
-            sink: Sink::none(),
-        }
-    }
+/// Builds a scheme from its declarative config via [`default_registry`].
+pub fn build_scheme(
+    config: &SchemeConfig,
+    ctx: &BuildCtx,
+) -> Result<Box<dyn LineProtection>, BuildError> {
+    default_registry().build(config, ctx)
+}
 
-    /// Replaces the sink.
-    #[must_use]
-    pub fn with_sink(mut self, sink: Sink) -> Self {
-        self.sink = sink;
-        self
-    }
+/// The display label of a declarative config via [`default_registry`].
+pub fn scheme_label(config: &SchemeConfig) -> Result<String, BuildError> {
+    default_registry().label(config)
 }
 
 /// Every protection configuration the experiments compare.
@@ -96,24 +93,31 @@ impl SchemeSpec {
         ]
     }
 
-    /// Display label matching the paper's figures.
-    pub fn label(&self) -> String {
-        match self {
-            SchemeSpec::Baseline => "baseline".into(),
-            SchemeSpec::Dected => "dected".into(),
-            SchemeSpec::Flair => "flair".into(),
-            SchemeSpec::FlairOnline => "flair-online".into(),
-            SchemeSpec::MsEcc => "ms-ecc".into(),
-            SchemeSpec::Killi(r) => format!("killi-1:{r}"),
-            SchemeSpec::KilliAblation(a) => match a {
-                KilliAblation::NoVictimPriority => "killi-no-victim-prio".into(),
-                KilliAblation::NoEvictionTraining => "killi-no-evict-train".into(),
-                KilliAblation::NoPromotion => "killi-no-promotion".into(),
-            },
-            SchemeSpec::KilliDected(r) => format!("killi-dected-1:{r}"),
-            SchemeSpec::KilliInverted(r) => format!("killi-invchk-1:{r}"),
-            SchemeSpec::KilliOlsc(r) => format!("killi-olsc-1:{r}"),
+    /// Lowers the spec to its declarative registry config.
+    pub fn config(&self) -> SchemeConfig {
+        let ratio =
+            |name: &str, r: usize| SchemeConfig::new(name).with("ratio", ParamValue::U64(r as u64));
+        match *self {
+            SchemeSpec::Baseline => SchemeConfig::new("baseline"),
+            SchemeSpec::Dected => SchemeConfig::new("dected"),
+            SchemeSpec::Flair => SchemeConfig::new("flair"),
+            SchemeSpec::FlairOnline => SchemeConfig::new("flair-online"),
+            SchemeSpec::MsEcc => SchemeConfig::new("ms-ecc"),
+            SchemeSpec::Killi(r) => ratio("killi", r),
+            SchemeSpec::KilliAblation(a) => SchemeConfig::new(match a {
+                KilliAblation::NoVictimPriority => "killi-no-victim-prio",
+                KilliAblation::NoEvictionTraining => "killi-no-evict-train",
+                KilliAblation::NoPromotion => "killi-no-promotion",
+            }),
+            SchemeSpec::KilliDected(r) => ratio("killi-dected", r),
+            SchemeSpec::KilliInverted(r) => ratio("killi-invchk", r),
+            SchemeSpec::KilliOlsc(r) => ratio("killi-olsc", r),
         }
+    }
+
+    /// Display label matching the paper's figures (registry-formatted).
+    pub fn label(&self) -> String {
+        scheme_label(&self.config()).expect("built-in spec is registered")
     }
 
     /// True when the scheme runs on the fault-free nominal-VDD map.
@@ -123,61 +127,27 @@ impl SchemeSpec {
 
     /// Builds the protection scheme for the L2 described by `ctx`, with
     /// `ctx.sink` attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry cannot host the scheme; use [`build_scheme`]
+    /// with [`SchemeSpec::config`] for a fallible build.
     pub fn build(&self, ctx: &BuildCtx) -> Box<dyn LineProtection> {
-        let map = &ctx.fault_map;
-        let lines = ctx.geometry.lines();
-        let ways = ctx.geometry.ways;
-        let mut scheme: Box<dyn LineProtection> = match *self {
-            SchemeSpec::Baseline => Box::new(Unprotected::new()),
-            SchemeSpec::Dected => Box::new(PerLineEcc::dected_per_line(Arc::clone(map), lines)),
-            SchemeSpec::Flair => Box::new(PerLineEcc::flair(Arc::clone(map), lines)),
-            SchemeSpec::FlairOnline => Box::new(FlairOnline::new(
-                Arc::clone(map),
-                lines,
-                ways,
-                (lines as u64) * 4, // one MBIST round per 4x cache sweeps
-            )),
-            SchemeSpec::MsEcc => Box::new(MsEcc::new(Arc::clone(map), lines)),
-            SchemeSpec::Killi(ratio) => Box::new(KilliScheme::new(
-                KilliConfig::with_ratio(ratio),
-                Arc::clone(map),
-                lines,
-                ways,
-            )),
-            SchemeSpec::KilliAblation(which) => {
-                let mut config = KilliConfig::with_ratio(64);
-                match which {
-                    KilliAblation::NoVictimPriority => config.victim_priority = false,
-                    KilliAblation::NoEvictionTraining => config.eviction_training = false,
-                    KilliAblation::NoPromotion => config.coordinated_promotion = false,
-                }
-                Box::new(KilliScheme::new(config, Arc::clone(map), lines, ways))
-            }
-            SchemeSpec::KilliDected(ratio) => {
-                let mut config = KilliConfig::with_ratio(ratio);
-                config.dected_upgrade = true;
-                Box::new(KilliScheme::new(config, Arc::clone(map), lines, ways))
-            }
-            SchemeSpec::KilliInverted(ratio) => {
-                let mut config = KilliConfig::with_ratio(ratio);
-                config.inverted_write_check = true;
-                Box::new(KilliScheme::new(config, Arc::clone(map), lines, ways))
-            }
-            SchemeSpec::KilliOlsc(ratio) => Box::new(KilliScheme::new(
-                KilliConfig::with_olsc(ratio),
-                Arc::clone(map),
-                lines,
-                ways,
-            )),
-        };
-        scheme.attach_sink(ctx.sink.clone());
-        scheme
+        match build_scheme(&self.config(), ctx) {
+            Ok(scheme) => scheme,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    use killi_fault::map::FaultMap;
+    use killi_obs::Sink;
+    use killi_sim::cache::CacheGeometry;
 
     #[test]
     fn labels_are_unique() {
@@ -188,6 +158,19 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), SchemeSpec::figure4_set().len());
+    }
+
+    #[test]
+    fn labels_match_the_paper_figures() {
+        assert_eq!(SchemeSpec::Killi(64).label(), "killi-1:64");
+        assert_eq!(SchemeSpec::KilliInverted(16).label(), "killi-invchk-1:16");
+        assert_eq!(SchemeSpec::KilliDected(32).label(), "killi-dected-1:32");
+        assert_eq!(SchemeSpec::KilliOlsc(8).label(), "killi-olsc-1:8");
+        assert_eq!(
+            SchemeSpec::KilliAblation(KilliAblation::NoPromotion).label(),
+            "killi-no-promotion"
+        );
+        assert_eq!(SchemeSpec::FlairOnline.label(), "flair-online");
     }
 
     #[test]
@@ -212,6 +195,22 @@ mod tests {
         ] {
             let s = spec.build(&ctx);
             assert!(!s.name().is_empty(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn every_registered_scheme_builds_from_defaults() {
+        let geometry = CacheGeometry {
+            size_bytes: 1024 * 64,
+            ways: 16,
+            line_bytes: 64,
+        };
+        let ctx = BuildCtx::new(Arc::new(FaultMap::fault_free(geometry.lines())), geometry);
+        for name in default_registry().names() {
+            let config = SchemeConfig::new(name);
+            let scheme = build_scheme(&config, &ctx)
+                .unwrap_or_else(|e| panic!("{name} default config must build: {e}"));
+            assert!(!scheme.name().is_empty(), "{name}");
         }
     }
 

@@ -34,7 +34,7 @@ use killi_obs::MetricSet;
 use crate::exec::{par_map, Progress};
 use crate::report::Table;
 use crate::runner::{run_cell, run_cell_traced, ObsConfig};
-use crate::schemes::SchemeSpec;
+use crate::schemes::{build_scheme, scheme_label, BuildCtx, BuildError, SchemeConfig, SchemeSpec};
 
 /// Streaming mean/variance accumulator (Welford's algorithm): numerically
 /// stable and single-pass, so aggregation never materializes sample
@@ -148,8 +148,9 @@ pub struct SweepConfig {
     pub replications: usize,
     /// Low-voltage operating points.
     pub vdds: Vec<f64>,
-    /// Protection schemes under test (baselines run implicitly).
-    pub schemes: Vec<SchemeSpec>,
+    /// Declarative protection-scheme configs under test (resolved and
+    /// built through the scheme registry; baselines run implicitly).
+    pub schemes: Vec<SchemeConfig>,
     /// Workloads.
     pub workloads: Vec<Workload>,
     /// Operations per CU stream.
@@ -172,7 +173,7 @@ impl SweepConfig {
             root_seed,
             replications,
             vdds: vec![0.65, 0.625, 0.6],
-            schemes: vec![SchemeSpec::Killi(64)],
+            schemes: vec![SchemeSpec::Killi(64).config()],
             workloads: vec![Workload::Xsbench, Workload::Hacc],
             ops_per_cu,
             gpu: GpuConfig::default(),
@@ -188,6 +189,20 @@ impl SweepConfig {
     pub fn job_count(&self) -> usize {
         self.replications
             * (self.workloads.len() + self.vdds.len() * self.schemes.len() * self.workloads.len())
+    }
+
+    /// Validates every scheme config against the registry *and* the
+    /// sweep's cache geometry (via a fault-free test build), so a bad
+    /// `--scheme` fails before the fan-out phase instead of mid-run.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        let ctx = BuildCtx::new(
+            Arc::new(FaultMap::fault_free(self.gpu.l2.lines())),
+            self.gpu.l2,
+        );
+        for scheme in &self.schemes {
+            build_scheme(scheme, &ctx)?;
+        }
+        Ok(())
     }
 }
 
@@ -301,6 +316,15 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
     let lines = config.gpu.l2.lines();
     let model = CellFailureModel::finfet14();
     let reps = config.replications.max(1);
+    // Registry-formatted labels, resolved once up front. Callers should
+    // run `SweepConfig::validate` first; an unknown scheme here is a
+    // programming error.
+    let labels: Vec<String> = config
+        .schemes
+        .iter()
+        .map(|s| scheme_label(s).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let baseline_scheme = SchemeConfig::new("baseline");
 
     let trace_seed = |w: usize, rep: usize| {
         // Key traces by the workload's stable identity, not its position
@@ -382,9 +406,9 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
 
     let progress = Progress::new("sweep", jobs.len(), config.progress_every);
     let results = par_map(config.threads, &jobs, Some(&progress), |_, &job| {
-        let (w, rep, spec, vdd) = match job {
-            Job::Baseline { w, rep } => (w, rep, SchemeSpec::Baseline, 1.0),
-            Job::Cell { v, s, w, rep } => (w, rep, config.schemes[s], config.vdds[v]),
+        let (w, rep, scheme, vdd) = match job {
+            Job::Baseline { w, rep } => (w, rep, &baseline_scheme, 1.0),
+            Job::Cell { v, s, w, rep } => (w, rep, &config.schemes[s], config.vdds[v]),
         };
         let workload = config.workloads[w];
         let obs = ObsConfig {
@@ -399,7 +423,7 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
                 };
                 run_cell_traced(
                     workload,
-                    spec,
+                    scheme,
                     &config.gpu,
                     Trace::from_shared(Arc::clone(&traces[w * reps + rep])),
                     map,
@@ -420,7 +444,7 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
                 };
                 run_cell(
                     workload,
-                    spec,
+                    scheme,
                     &config.gpu,
                     config.ops_per_cu,
                     &map,
@@ -463,12 +487,12 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
     }
     let cells_offset = config.workloads.len() * reps;
     let mut job_index = cells_offset;
-    for v in 0..config.vdds.len() {
-        for s in 0..config.schemes.len() {
+    for vdd in &config.vdds {
+        for label in &labels {
             for (w, workload) in config.workloads.iter().enumerate() {
                 let mut cell = SweepCell {
-                    vdd: config.vdds[v],
-                    scheme: config.schemes[s].label(),
+                    vdd: *vdd,
+                    scheme: label.clone(),
                     workload: workload.name(),
                     metrics: Default::default(),
                     obs: MetricSet::new(),
@@ -496,7 +520,7 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
         replications: reps,
         ops_per_cu: config.ops_per_cu,
         vdds: config.vdds.clone(),
-        schemes: config.schemes.iter().map(SchemeSpec::label).collect(),
+        schemes: labels,
         workloads: config.workloads.iter().map(|w| w.name()).collect(),
         cells,
         trace,
@@ -654,7 +678,7 @@ mod tests {
             root_seed: 7,
             replications: 2,
             vdds: vec![0.625, 0.6],
-            schemes: vec![SchemeSpec::Killi(16)],
+            schemes: vec![SchemeSpec::Killi(16).config()],
             workloads: vec![Workload::Fft, Workload::Hacc],
             ops_per_cu: 1500,
             gpu: GpuConfig {
@@ -671,6 +695,17 @@ mod tests {
             threads: 2,
             progress_every: 0,
             trace_capacity: None,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_schemes_upfront() {
+        let mut config = tiny_sweep();
+        assert!(config.validate().is_ok());
+        config.schemes.push(SchemeConfig::new("no-such-scheme"));
+        match config.validate() {
+            Err(BuildError::UnknownScheme { name }) => assert_eq!(name, "no-such-scheme"),
+            other => panic!("expected UnknownScheme, got {other:?}"),
         }
     }
 

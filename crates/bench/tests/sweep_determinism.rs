@@ -15,7 +15,7 @@ fn tiny(threads: usize) -> SweepConfig {
         root_seed: 2024,
         replications: 2,
         vdds: vec![0.625, 0.6],
-        schemes: vec![SchemeSpec::Killi(16), SchemeSpec::MsEcc],
+        schemes: vec![SchemeSpec::Killi(16).config(), SchemeSpec::MsEcc.config()],
         workloads: vec![Workload::Xsbench, Workload::Fft],
         ops_per_cu: 2_000,
         gpu: GpuConfig {

@@ -71,8 +71,9 @@ impl From<std::io::Error> for ArgError {
     }
 }
 
-/// Flags that take no value: their presence is the value (`--quick`).
-const BOOLEAN_FLAGS: [&str; 1] = ["quick"];
+/// Flags that take no value: their presence is the value (`--quick`,
+/// `--build-check`).
+const BOOLEAN_FLAGS: [&str; 2] = ["quick", "build-check"];
 
 impl Args {
     /// Parses an iterator of arguments (exclusive of the binary name).
@@ -335,5 +336,7 @@ mod tests {
         assert_eq!(a.get_or("out", ""), "x.json");
         let trailing = parse(&["bench", "--quick"]).unwrap();
         assert!(trailing.has("quick"));
+        let schemes = parse(&["schemes", "--build-check"]).unwrap();
+        assert!(schemes.has("build-check"));
     }
 }

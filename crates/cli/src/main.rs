@@ -4,10 +4,12 @@
 //! killi coverage  [--vdd 0.6]
 //! killi area      [--ratio 64] [--code secded|dected|tecqed|6ec7ed]
 //! killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
+//! killi schemes   [--build-check]
 //! killi simulate  [--workload xsbench] [--scheme killi] [--ratio 64]
 //!                 [--vdd 0.625] [--ops 100000] [--seed 42]
 //! killi sweep     [--replications 8] [--threads 4] [--vdds 0.65,0.625,0.6]
 //!                 [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
+//!                 [--scheme-file FILE.json]
 //!                 [--ops 10000] [--seed 42] [--l2kb 512] [--out FILE.json]
 //!                 [--trace FILE.jsonl] [--trace-capacity 4096]
 //! killi bench     [--quick] [--out results/BENCH_perf.json]
@@ -29,7 +31,9 @@ use args::{ArgError, Args};
 use killi_bench::perf::{run_perf_suite, BENCHMARK_NAMES};
 use killi_bench::report::Table;
 use killi_bench::runner::{baseline_of, run_cell, run_matrix, MatrixConfig, ObsConfig};
-use killi_bench::schemes::{BuildCtx, SchemeSpec};
+use killi_bench::schemes::{
+    build_scheme, default_registry, scheme_label, BuildCtx, ParamValue, SchemeConfig,
+};
 use killi_bench::sweep::{run_sweep, SweepConfig};
 use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
 use killi_fault::line_stats::LineFaultDistribution;
@@ -47,15 +51,23 @@ USAGE:
   killi coverage  [--vdd 0.6]
   killi area      [--ratio 64] [--code secded|dected|tecqed|6ec7ed]
   killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
+  killi schemes   [--build-check]
+                  Lists every registered protection scheme with its
+                  parameters and defaults; --build-check also builds each
+                  from its defaults (CI smoke).
   killi simulate  [--workload xsbench] [--scheme killi|dected|flair|ms-ecc]
                   [--ratio 64] [--vdd 0.625] [--ops 100000] [--seed 42]
   killi sweep     [--replications 8] [--threads N] [--vdds 0.65,0.625,0.6]
                   [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
+                  [--scheme-file FILE.json]
                   [--ops 10000] [--seed 42] [--l2kb 512] [--progress 10]
                   [--out results/BENCH_sweep.json]
                   [--trace FILE.jsonl] [--trace-capacity 4096]
                   Monte-Carlo sweep: statistics (mean/stddev/95% CI) over
                   seed-derived replicate fault maps, written as JSON.
+                  --scheme entries accept registry shorthand, e.g.
+                  killi:ratio=16,ecc_sets=64,ecc_ways=8; --scheme-file
+                  reads a JSON list of {\"scheme\": ..., params} objects.
   killi bench     [--quick] [--out results/BENCH_perf.json]
                   Before/after performance suite for the sweep hot path
                   (fault-map build, single simulation, full sweep) as
@@ -92,6 +104,7 @@ fn main() -> ExitCode {
         Some("coverage") => cmd_coverage(&args),
         Some("area") => cmd_area(&args),
         Some("faultmap") => cmd_faultmap(&args),
+        Some("schemes") => cmd_schemes(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("bench") => cmd_bench(&args),
@@ -198,39 +211,97 @@ fn cmd_faultmap(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn parse_scheme(name: &str, ratio: usize) -> Result<SchemeSpec, ArgError> {
-    Ok(match name {
-        "baseline" => SchemeSpec::Baseline,
-        "killi" => SchemeSpec::Killi(ratio),
-        "killi-dected" => SchemeSpec::KilliDected(ratio),
-        "killi-invchk" => SchemeSpec::KilliInverted(ratio),
-        "killi-olsc" => SchemeSpec::KilliOlsc(ratio),
-        "dected" => SchemeSpec::Dected,
-        "flair" => SchemeSpec::Flair,
-        "flair-online" => SchemeSpec::FlairOnline,
-        "ms-ecc" => SchemeSpec::MsEcc,
-        other => {
-            return Err(ArgError::invalid(
-                "scheme",
-                other,
-                "one of baseline, killi, killi-dected, killi-invchk, killi-olsc, \
-                 dected, flair, flair-online, ms-ecc",
-            ))
+/// Parses a `--scheme` value through the registry. Accepts the plain name
+/// (`killi`) and the parameterized shorthand
+/// (`killi:ratio=16,ecc_sets=64`). For back-compat, `--ratio N` is
+/// injected into any scheme that declares a `ratio` parameter the
+/// shorthand left unset.
+fn parse_scheme(input: &str, ratio: usize) -> Result<SchemeConfig, ArgError> {
+    let registry = default_registry();
+    let scheme_err = |e: killi_bench::schemes::BuildError| {
+        ArgError::invalid(
+            "scheme",
+            input,
+            format!("valid ({e}); registered: {}", registry.names().join(", ")),
+        )
+    };
+    let mut config = SchemeConfig::parse(input).map_err(scheme_err)?;
+    if config.get("ratio").is_none() {
+        let declares_ratio = registry
+            .descriptor(&config.name)
+            .is_some_and(|d| d.params.iter().any(|p| p.name == "ratio"));
+        if declares_ratio {
+            config = config.with("ratio", ParamValue::U64(ratio as u64));
         }
-    })
+    }
+    registry.validate(&config).map_err(scheme_err)?;
+    Ok(config)
+}
+
+/// `killi schemes`: lists every registered scheme with its parameters and
+/// defaults; `--build-check` additionally builds each scheme from its
+/// default config against a small fault-free cache (the CI smoke that
+/// keeps the registry and the constructors in sync).
+fn cmd_schemes(args: &Args) -> Result<(), ArgError> {
+    let registry = default_registry();
+    let io_err = |e: killi_bench::schemes::BuildError| ArgError::Io {
+        message: e.to_string(),
+    };
+    let mut t = Table::new(vec!["scheme", "default label", "description"]);
+    for d in registry.descriptors() {
+        let label = registry.label(&SchemeConfig::new(d.name)).map_err(io_err)?;
+        t.row(vec![d.name.to_string(), label, d.doc.to_string()]);
+    }
+    println!(
+        "registered protection schemes (use --scheme NAME or \
+         NAME:key=value,key=value):\n{}",
+        t.render()
+    );
+    let with_params: Vec<_> = registry
+        .descriptors()
+        .iter()
+        .filter(|d| !d.params.is_empty())
+        .collect();
+    if !with_params.is_empty() {
+        println!("parameters:");
+        for d in with_params {
+            println!("  {}:", d.name);
+            for p in &d.params {
+                println!("    {} = {}  ({})", p.name, p.default, p.doc);
+            }
+        }
+    }
+    if args.has("build-check") {
+        let geometry = killi_sim::cache::CacheGeometry {
+            size_bytes: 64 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        };
+        let ctx = BuildCtx::new(Arc::new(FaultMap::fault_free(geometry.lines())), geometry);
+        for d in registry.descriptors() {
+            build_scheme(&SchemeConfig::new(d.name), &ctx).map_err(|e| ArgError::Io {
+                message: format!("{}: {e}", d.name),
+            })?;
+        }
+        println!(
+            "build check: all {} registered schemes build from their defaults",
+            registry.descriptors().len()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
     let workload: Workload = args.flag_enum("workload", "xsbench")?;
     let ratio: usize = args.get_num("ratio", 64)?;
-    let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
+    let scheme = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
     let vdd = args.flag_f64("vdd", 0.625)?;
     let ops: usize = args.get_num("ops", 100_000)?;
     let seed = args.flag_u64("seed", 42)?;
 
     let mut config = MatrixConfig::paper(ops, seed);
     config.vdd = NormVdd(vdd);
-    let results = run_matrix(&[workload], &[spec], &config);
+    let results = run_matrix(&[workload], &[scheme], &config);
     let base = baseline_of(&results, workload.name());
     let r = results
         .iter()
@@ -275,7 +346,7 @@ fn cmd_record(args: &Args) -> Result<(), ArgError> {
 fn cmd_replay(args: &Args) -> Result<(), ArgError> {
     let input = args.require("in", "replay")?;
     let ratio: usize = args.get_num("ratio", 64)?;
-    let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
+    let scheme = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
     let vdd = args.flag_f64("vdd", 0.625)?;
     let seed = args.flag_u64("seed", 42)?;
 
@@ -293,10 +364,16 @@ fn cmd_replay(args: &Args) -> Result<(), ArgError> {
         FreqGhz::PEAK,
         seed,
     ));
-    let protection = spec.build(&BuildCtx::new(Arc::clone(&map), config.l2));
+    let ctx = BuildCtx::new(Arc::clone(&map), config.l2);
+    let protection = build_scheme(&scheme, &ctx).map_err(|e| ArgError::Io {
+        message: e.to_string(),
+    })?;
+    let label = scheme_label(&scheme).map_err(|e| ArgError::Io {
+        message: e.to_string(),
+    })?;
     let mut sim = GpuSim::new(config, map, protection, seed);
     let stats = sim.run(trace);
-    println!("replayed {input} under {} at {vdd} x VDD:", spec.label());
+    println!("replayed {input} under {label} at {vdd} x VDD:");
     println!("  cycles       {:>12}", stats.cycles);
     println!("  L2 MPKI      {:>12.2}", stats.mpki());
     println!("  error misses {:>12}", stats.l2_error_misses);
@@ -361,7 +438,18 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         s.parse::<Workload>()
             .map_err(|e| ArgError::invalid("workloads", s, e.to_string()))
     })?;
-    let schemes = args.flag_list("schemes", "killi", |s| parse_scheme(s, ratio))?;
+    // --scheme-file (declarative JSON) takes precedence over --schemes.
+    let scheme_file = args.get_or("scheme-file", "");
+    let schemes = if scheme_file.is_empty() {
+        args.flag_list("schemes", "killi", |s| parse_scheme(s, ratio))?
+    } else {
+        let text = std::fs::read_to_string(&scheme_file).map_err(|e| ArgError::Io {
+            message: format!("{scheme_file}: {e}"),
+        })?;
+        SchemeConfig::list_from_json(&text).map_err(|e| ArgError::Io {
+            message: format!("{scheme_file}: {e}"),
+        })?
+    };
 
     let gpu = GpuConfig {
         l2: killi_sim::cache::CacheGeometry {
@@ -387,6 +475,11 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
             Some(args.get_num("trace-capacity", 4096)?)
         },
     };
+    // Catch unknown names, bad params, and geometry mismatches before the
+    // fan-out phase spins up.
+    config.validate().map_err(|e| ArgError::Io {
+        message: e.to_string(),
+    })?;
     eprintln!(
         "sweep: {} simulations ({} replications x {} vdds x {} schemes x {} workloads \
          + baselines) on {} threads",
@@ -611,7 +704,7 @@ fn cmd_trace(args: &Args) -> Result<(), ArgError> {
     }
     let workload: Workload = args.flag_enum("workload", "fft")?;
     let ratio: usize = args.get_num("ratio", 64)?;
-    let spec = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
+    let scheme = parse_scheme(&args.get_or("scheme", "killi"), ratio)?;
     let vdd = args.flag_f64("vdd", 0.625)?;
     let ops: usize = args.get_num("ops", 20_000)?;
     let seed = args.flag_u64("seed", 42)?;
@@ -620,7 +713,7 @@ fn cmd_trace(args: &Args) -> Result<(), ArgError> {
 
     let gpu = GpuConfig::default();
     let model = CellFailureModel::finfet14();
-    let map = if spec.is_baseline() {
+    let map = if scheme.is_baseline() {
         Arc::new(FaultMap::fault_free(gpu.l2.lines()))
     } else {
         Arc::new(FaultMap::build(
@@ -635,7 +728,7 @@ fn cmd_trace(args: &Args) -> Result<(), ArgError> {
         trace_capacity: Some(capacity),
         context: vec![("vdd", format!("{vdd}"))],
     };
-    let r = run_cell(workload, spec, &gpu, ops, &map, seed, &obs);
+    let r = run_cell(workload, &scheme, &gpu, ops, &map, seed, &obs);
     let trace = r.trace.expect("tracing was requested");
     if out.is_empty() {
         print!("{trace}");

@@ -71,6 +71,24 @@ impl EccCacheConfig {
         assert!(ratio > 0, "ratio must be positive");
         EccCacheConfig { ratio, ways: 4 }
     }
+
+    /// Checks whether this configuration can be built over an L2 with
+    /// `l2_lines` lines, returning the message [`EccCache::new`] would
+    /// panic with.
+    pub fn validate(&self, l2_lines: usize) -> Result<(), String> {
+        if self.ratio == 0 {
+            return Err("ratio must be positive".to_string());
+        }
+        let entries = l2_lines / self.ratio;
+        if entries < self.ways {
+            return Err("ECC cache smaller than one set".to_string());
+        }
+        let sets = entries / self.ways;
+        if !sets.is_power_of_two() {
+            return Err("ECC cache sets must be a power of two".to_string());
+        }
+        Ok(())
+    }
 }
 
 /// Result of a single-pass set scan ([`EccCache::probe`]): everything the
@@ -119,13 +137,11 @@ impl EccCache {
     /// Panics if the configuration yields zero sets or a non-power-of-two
     /// set count.
     pub fn new(config: EccCacheConfig, l2_lines: usize, l2_ways: usize) -> Self {
+        if let Err(message) = config.validate(l2_lines) {
+            panic!("{message}");
+        }
         let entries = l2_lines / config.ratio;
-        assert!(entries >= config.ways, "ECC cache smaller than one set");
         let sets = entries / config.ways;
-        assert!(
-            sets.is_power_of_two(),
-            "ECC cache sets must be a power of two"
-        );
         EccCache {
             set_mask: sets - 1,
             ways: config.ways,

@@ -11,7 +11,14 @@
 //! - [`scheme`] — [`scheme::KilliScheme`], the full mechanism implementing
 //!   the simulator's `LineProtection` interface, including the §4.4
 //!   replacement optimizations, the §5.2 DEC-TED upgrade and the §5.6.2
-//!   inverted-write masked-fault mitigation.
+//!   inverted-write masked-fault mitigation,
+//! - [`pipeline`] — the four composable protection layers (detection
+//!   codec, correction store, fault classifier, victim policy) that the
+//!   schemes are assembled from, plus a generic
+//!   [`pipeline::ProtectionPipeline`] driver,
+//! - [`registry`] — the data-driven [`registry::SchemeRegistry`] mapping
+//!   declarative [`registry::SchemeConfig`]s (CLI shorthand or JSON) onto
+//!   built pipelines with typed [`registry::BuildError`]s.
 //!
 //! # Example
 //!
@@ -41,7 +48,16 @@
 pub mod classify;
 pub mod dfh;
 pub mod ecc_cache;
+pub mod pipeline;
+pub mod registry;
 pub mod scheme;
 
 pub use dfh::Dfh;
+pub use pipeline::{
+    CodecVerdict, CorrectionStore, DetectionCodec, FaultClassifier, ProtectionPipeline,
+    VictimPolicy,
+};
+pub use registry::{
+    BuildCtx, BuildError, ParamValue, SchemeConfig, SchemeDescriptor, SchemeRegistry,
+};
 pub use scheme::{KilliConfig, KilliScheme};

@@ -9,21 +9,34 @@
 //! parity/ECC feedback on hits and evictions — no MBIST, no oracle access
 //! to the fault map (the map is touched only to *corrupt* metadata stored
 //! in low-voltage cells, which is physics, not knowledge).
+//!
+//! Structurally, the scheme is glue over the four pipeline layers of
+//! [`crate::pipeline`]: a [`SegmentedParity`] detection codec, the
+//! [`EccCache`] correction store, a [`DfhClassifier`] and a
+//! [`DfhPriorityPolicy`]. The glue exists because Killi dispatches on the
+//! DFH state *per access* (parity-only for `b'00`, parity+SECDED for
+//! `b'01`, payload-dependent for `b'10`), which the generic
+//! [`crate::pipeline::ProtectionPipeline`] driver deliberately does not
+//! model.
 
 use std::sync::Arc;
 
 use killi_ecc::bch::dected;
 use killi_ecc::bits::Line512;
 use killi_ecc::olsc::{OlscDecode, OlscLine};
-use killi_ecc::parity::{seg16, seg4, SegObservation};
+use killi_ecc::parity::SegObservation;
 use killi_ecc::secded::secded;
 use killi_fault::map::{FaultMap, LineId};
-use killi_obs::{Counter, Histogram, KilliEvent, MetricSet, Sink};
+use killi_obs::{Counter, MetricSet, Sink};
 use killi_sim::protection::{FillOutcome, LineProtection, ReadOutcome};
 
 use crate::classify::{classify_stable0, classify_stable1, classify_unknown, Verdict};
-use crate::dfh::{Dfh, DfhArray};
+use crate::dfh::Dfh;
 use crate::ecc_cache::{EccCache, EccCacheConfig, EccPayload};
+use crate::pipeline::{
+    pack_olsc, unpack_olsc, CorrectionStore, DfhClassifier, DfhPriorityPolicy, FaultClassifier,
+    SegmentedParity, VictimPolicy,
+};
 
 /// Killi configuration. Defaults reproduce the paper's design; the boolean
 /// switches expose the §4.4 optimizations and the §5.2/§5.6.2 extensions
@@ -88,66 +101,37 @@ impl KilliConfig {
     }
 }
 
-/// Packs an OLSC checkbit vector into the Copy-able payload words.
-fn pack_olsc(bits: &[bool]) -> [u64; 4] {
-    let mut out = [0u64; 4];
-    for (i, &b) in bits.iter().enumerate() {
-        if b {
-            out[i / 64] |= 1 << (i % 64);
-        }
-    }
-    out
-}
-
-/// Unpacks OLSC checkbits.
-fn unpack_olsc(words: &[u64; 4], n: usize) -> Vec<bool> {
-    (0..n)
-        .map(|i| (words[i / 64] >> (i % 64)) & 1 == 1)
-        .collect()
-}
-
+/// Cold per-line flags (the hot DFH bits live packed in the classifier).
 #[derive(Debug, Clone, Copy, Default)]
-struct LineState {
-    /// Content of the 4 low-voltage parity cells (already stuck-at
-    /// corrupted). For `b'01` lines these are parity bits 0..4 of the
-    /// 16-bit training parity; for stable lines the 4 quarter parities.
-    parity4: u8,
+struct LineFlags {
     /// §5.2: this `b'10` line's ECC-cache payload is a DEC-TED code.
     dected: bool,
     /// §5.6.1: the line holds dirty data under escalated protection.
     dirty_protected: bool,
-    /// Scheme-op index at which the line last entered `b'01` (training
-    /// latency measurement; all lines start training at op 0).
-    training_since: u64,
 }
 
 /// The Killi protection scheme.
 pub struct KilliScheme {
     config: KilliConfig,
     map: Arc<FaultMap>,
-    /// The two hardware DFH bits per line, packed (the hot victim-search
-    /// and census reads), kept apart from the colder per-line metadata in
-    /// `states`.
-    dfh: DfhArray,
-    states: Vec<LineState>,
+    /// Layer 3: the 2-bit DFH state machine plus transition statistics and
+    /// the scheme-op clock.
+    classifier: DfhClassifier,
+    /// Layer 1: the 4/16-bit segmented-parity detection codec.
+    parity: SegmentedParity,
+    /// Layer 2: the decoupled correction store.
     ecc: EccCache,
+    /// Layer 4: victim priority plus the §5.2 protectability veto.
+    policy: DfhPriorityPolicy,
+    flags: Vec<LineFlags>,
     corrections: u64,
     detections: u64,
-    /// DFH transitions observed, `transitions[from][to]` by `Dfh::bits()`.
-    transitions: [[u64; 4]; 4],
     /// Payload of the entry most recently displaced from the ECC cache;
     /// kept until the L2 invalidates that line so it can still be trained
     /// on its way out (the paper trains DFH bits on every eviction).
     pending_displaced: Option<(LineId, EccPayload)>,
     /// §5.5: the OLSC codec, present in `olsc_mode`.
     olsc: Option<OlscLine>,
-    /// Observability handle (shared with the embedded ECC cache).
-    sink: Sink,
-    /// Scheme-op clock: one tick per fill/read-hit/evict hook, the time
-    /// base for training-latency measurements.
-    ops: u64,
-    /// Ops spent in `b'01` before classification (log2 buckets).
-    training_hist: Histogram,
 }
 
 impl KilliScheme {
@@ -156,40 +140,59 @@ impl KilliScheme {
     ///
     /// # Panics
     ///
-    /// Panics if the fault map does not cover `l2_lines`.
+    /// Panics if the fault map does not cover `l2_lines` or the ECC-cache
+    /// geometry cannot be built; [`KilliScheme::try_new`] reports the same
+    /// conditions as errors.
     pub fn new(config: KilliConfig, map: Arc<FaultMap>, l2_lines: usize, l2_ways: usize) -> Self {
-        assert!(map.lines() >= l2_lines, "fault map too small");
-        KilliScheme {
+        match Self::try_new(config, map, l2_lines, l2_ways) {
+            Ok(scheme) => scheme,
+            Err(message) => panic!("{message}"),
+        }
+    }
+
+    /// Fallible construction: validates map coverage and ECC-cache
+    /// geometry before allocating anything.
+    pub fn try_new(
+        config: KilliConfig,
+        map: Arc<FaultMap>,
+        l2_lines: usize,
+        l2_ways: usize,
+    ) -> Result<Self, String> {
+        if map.lines() < l2_lines {
+            return Err("fault map too small".to_string());
+        }
+        config.ecc_cache.validate(l2_lines)?;
+        Ok(KilliScheme {
             config,
-            map,
-            dfh: DfhArray::new(l2_lines),
-            states: vec![LineState::default(); l2_lines],
+            classifier: DfhClassifier::new(l2_lines),
+            parity: SegmentedParity::new(Arc::clone(&map), l2_lines, config.check_latency),
             ecc: EccCache::new(config.ecc_cache, l2_lines, l2_ways),
+            policy: DfhPriorityPolicy {
+                priority: config.victim_priority,
+            },
+            map,
+            flags: vec![LineFlags::default(); l2_lines],
             corrections: 0,
             detections: 0,
-            transitions: [[0; 4]; 4],
             pending_displaced: None,
             olsc: config.olsc_mode.then(|| OlscLine::new(8, 2)),
-            sink: Sink::none(),
-            ops: 0,
-            training_hist: Histogram::new(),
-        }
+        })
     }
 
     /// Current DFH state of a line (tests and reports).
     pub fn dfh(&self, line: LineId) -> Dfh {
-        self.dfh.get(line)
+        self.classifier.get(line)
     }
 
     /// Census of lines per DFH state, indexed by `Dfh::bits()`.
     pub fn dfh_census(&self) -> [usize; 4] {
-        let c = self.dfh.census();
+        let c = self.classifier.census();
         [c[0] as usize, c[1] as usize, c[2] as usize, c[3] as usize]
     }
 
     /// DFH transition counts, `[from][to]` indexed by `Dfh::bits()`.
     pub fn transitions(&self) -> &[[u64; 4]; 4] {
-        &self.transitions
+        self.classifier.transitions()
     }
 
     /// The embedded ECC cache (occupancy introspection).
@@ -203,33 +206,13 @@ impl KilliScheme {
     /// use. Returns the number of lines reclaimed.
     pub fn scrub_reclaim(&mut self) -> usize {
         let mut reclaimed = 0;
-        for line in 0..self.states.len() {
-            if self.dfh.get(line) == Dfh::Disabled {
-                self.transition(line, Dfh::Unknown);
+        for line in 0..self.flags.len() {
+            if self.classifier.get(line) == Dfh::Disabled {
+                self.classifier.transition(line, Dfh::Unknown);
                 reclaimed += 1;
             }
         }
         reclaimed
-    }
-
-    fn transition(&mut self, line: LineId, next: Dfh) {
-        let cur = self.dfh.get(line);
-        if cur != next {
-            self.transitions[cur.bits() as usize][next.bits() as usize] += 1;
-            self.dfh.set(line, next);
-            if cur == Dfh::Unknown {
-                let since = self.states[line].training_since;
-                self.training_hist.observe_log2(self.ops - since);
-            }
-            if next == Dfh::Unknown {
-                self.states[line].training_since = self.ops;
-            }
-            self.sink.emit(|| KilliEvent::DfhTransition {
-                line: line as u32,
-                from: cur.bits(),
-                to: next.bits(),
-            });
-        }
     }
 
     /// Observables of a `b'01` line: 16-bit segment parity (4 LV cells + 12
@@ -247,28 +230,7 @@ impl KilliScheme {
         let EccPayload::Secded { code, parity_hi } = payload else {
             unreachable!("b'01 lines always hold SECDED payloads");
         };
-        let stored_p16 = (parity_hi << 4) | u16::from(self.states[line].parity4 & 0xF);
-        let seg = SegObservation::observe16(stored_p16, seg16(stored));
-        let ecc = secded().observe(stored, code);
-        let dec = secded().interpret(ecc);
-        self.sink.emit(|| KilliEvent::ParityObservation {
-            line: line as u32,
-            mismatch: !matches!(seg, SegObservation::Match),
-        });
-        self.sink.emit(|| KilliEvent::SyndromeObservation {
-            line: line as u32,
-            corrected: matches!(
-                dec,
-                killi_ecc::secded::SecdedDecode::CorrectedData { .. }
-                    | killi_ecc::secded::SecdedDecode::CorrectedCheck
-            ),
-            detected: matches!(
-                dec,
-                killi_ecc::secded::SecdedDecode::DetectedDouble
-                    | killi_ecc::secded::SecdedDecode::DetectedUncorrectable
-            ),
-        });
-        (seg, ecc, dec)
+        self.parity.observe_training(line, stored, code, parity_hi)
     }
 
     /// Applies a verdict reached on the read/evict path of a `b'01` or
@@ -282,8 +244,8 @@ impl KilliScheme {
                         // Entry freed; generate the 4-bit stable parity from
                         // the array content (clean by the verdict).
                         self.ecc.invalidate(line);
-                        self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(stored));
-                        self.states[line].dected = false;
+                        self.parity.install4(line, stored);
+                        self.flags[line].dected = false;
                     }
                     Dfh::Stable1 => {
                         // Keep the entry. Stable parity reflects the
@@ -293,27 +255,26 @@ impl KilliScheme {
                         if let Some(bit) = correct_bit {
                             corrected.flip_bit(bit);
                         }
-                        self.states[line].parity4 =
-                            self.map.corrupt_parity4(line, seg4(&corrected));
-                        if self.config.dected_upgrade && !self.states[line].dected {
+                        self.parity.install4(line, &corrected);
+                        if self.config.dected_upgrade && !self.flags[line].dected {
                             // §5.2: re-encode the corrected data as DEC-TED
                             // in the freed 23 payload bits.
                             let code = dected().encode(&corrected);
                             if self.ecc.update(line, EccPayload::Dected(code)) {
-                                self.states[line].dected = true;
+                                self.flags[line].dected = true;
                             }
                         }
                     }
                     Dfh::Unknown | Dfh::Disabled => {}
                 }
-                self.transition(line, next);
+                self.classifier.transition(line, next);
                 verdict
             }
             Verdict::ErrorMiss { next } => {
                 self.detections += 1;
                 self.ecc.invalidate(line);
-                self.states[line].dected = false;
-                self.transition(line, next);
+                self.flags[line].dected = false;
+                self.classifier.transition(line, next);
                 verdict
             }
         }
@@ -334,19 +295,19 @@ impl KilliScheme {
         match codec.decode(&mut work, &check) {
             OlscDecode::Clean => {
                 self.ecc.invalidate(line);
-                self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(stored));
-                self.transition(line, Dfh::Stable0);
+                self.parity.install4(line, stored);
+                self.classifier.transition(line, Dfh::Stable0);
                 Some(Vec::new())
             }
             OlscDecode::Corrected { bits } => {
-                self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(&work));
-                self.transition(line, Dfh::Stable1);
+                self.parity.install4(line, &work);
+                self.classifier.transition(line, Dfh::Stable1);
                 Some(bits)
             }
             OlscDecode::Detected => {
                 self.detections += 1;
                 self.ecc.invalidate(line);
-                self.transition(line, Dfh::Disabled);
+                self.classifier.transition(line, Dfh::Disabled);
                 None
             }
         }
@@ -374,7 +335,7 @@ impl KilliScheme {
             1 => Dfh::Stable1,
             _ => Dfh::Disabled,
         };
-        self.transition(line, next);
+        self.classifier.transition(line, next);
         next
     }
 }
@@ -386,39 +347,28 @@ impl LineProtection for KilliScheme {
 
     fn reset(&mut self) {
         // Voltage change / reboot: relearn everything (§2.4).
-        let now = self.ops;
-        self.dfh.reset();
-        for s in &mut self.states {
-            *s = LineState {
-                training_since: now,
-                ..LineState::default()
-            };
+        self.classifier.reset();
+        self.parity.reset();
+        for f in &mut self.flags {
+            *f = LineFlags::default();
         }
         self.ecc.clear();
     }
 
     fn victim_class(&self, line: LineId) -> Option<u8> {
-        // A `b'10` line can only hold data while SECDED checkbits are
-        // available for it; when its ECC-cache set is full of other lines'
-        // entries, the line is unusable for allocation — the paper's
-        // "subset of lines with one fault that cannot be protected with
-        // SECDED checkbits due to limited ECC cache size" (§5.2).
-        let dfh = self.dfh.get(line);
-        if dfh == Dfh::Stable1 && !self.ecc.probe(line).protectable() {
-            return None;
-        }
-        if self.config.victim_priority {
-            dfh.victim_class()
-        } else {
-            dfh.usable().then_some(0)
-        }
+        // The classifier supplies the raw DFH class; the policy layer adds
+        // the §5.2 protectability veto (a `b'10` line can only hold data
+        // while its ECC-cache set has room for its checkbits) and the §4.4
+        // priority/ablation decision.
+        let raw = self.classifier.get(line).victim_class();
+        self.policy.victim_class(line, raw, &self.ecc)
     }
 
     fn on_fill(&mut self, line: LineId, data: &Line512) -> FillOutcome {
-        self.ops += 1;
+        self.classifier.tick();
         let mut outcome = FillOutcome::default();
-        self.states[line].dirty_protected = false; // a fill installs clean data
-        let mut dfh = self.dfh.get(line);
+        self.flags[line].dirty_protected = false; // a fill installs clean data
+        let mut dfh = self.classifier.get(line);
         // The L2 never picks a disabled victim (victim_class is None), but
         // direct callers may still probe: the Disabled arm below rejects
         // the fill gracefully rather than asserting.
@@ -435,11 +385,10 @@ impl LineProtection for KilliScheme {
 
         match dfh {
             Dfh::Stable0 => {
-                self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(data));
+                self.parity.install4(line, data);
             }
             Dfh::Unknown => {
-                let p16 = seg16(data);
-                self.states[line].parity4 = self.map.corrupt_parity4(line, (p16 & 0xF) as u8);
+                let p16 = self.parity.install16(line, data);
                 let payload = if let Some(codec) = &self.olsc {
                     EccPayload::Olsc(pack_olsc(&codec.encode(data)))
                 } else {
@@ -454,11 +403,11 @@ impl LineProtection for KilliScheme {
                 }
             }
             Dfh::Stable1 => {
-                self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(data));
+                self.parity.install4(line, data);
                 let payload = if let Some(codec) = &self.olsc {
                     EccPayload::Olsc(pack_olsc(&codec.encode(data)))
                 } else if self.config.dected_upgrade {
-                    self.states[line].dected = true;
+                    self.flags[line].dected = true;
                     EccPayload::Dected(dected().encode(data))
                 } else {
                     EccPayload::Secded {
@@ -486,15 +435,15 @@ impl LineProtection for KilliScheme {
         // so every dirty line gets checkbits in the ECC cache — SECDED for
         // (otherwise parity-only) b'00 lines, DEC-TED for b'10 lines.
         let mut outcome = FillOutcome::default();
-        match self.dfh.get(line) {
+        match self.classifier.get(line) {
             Dfh::Unknown => {
                 // Training protection (16-bit parity + SECDED) already
                 // meets the SECDED-at-safe-voltage bar.
                 outcome = self.on_fill(line, data);
-                self.states[line].dirty_protected = outcome.accepted;
+                self.flags[line].dirty_protected = outcome.accepted;
             }
             Dfh::Stable0 => {
-                self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(data));
+                self.parity.install4(line, data);
                 let payload = EccPayload::Secded {
                     code: secded().encode(data),
                     parity_hi: 0,
@@ -503,17 +452,17 @@ impl LineProtection for KilliScheme {
                     self.pending_displaced = Some((displaced, old_payload));
                     outcome.invalidate.push(displaced);
                 }
-                self.states[line].dirty_protected = true;
+                self.flags[line].dirty_protected = true;
             }
             Dfh::Stable1 => {
-                self.states[line].parity4 = self.map.corrupt_parity4(line, seg4(data));
+                self.parity.install4(line, data);
                 let payload = EccPayload::Dected(dected().encode(data));
                 if let Some((displaced, old_payload)) = self.ecc.insert(line, payload) {
                     self.pending_displaced = Some((displaced, old_payload));
                     outcome.invalidate.push(displaced);
                 }
-                self.states[line].dected = true;
-                self.states[line].dirty_protected = true;
+                self.flags[line].dected = true;
+                self.flags[line].dirty_protected = true;
             }
             Dfh::Disabled => {
                 outcome.accepted = false;
@@ -523,8 +472,8 @@ impl LineProtection for KilliScheme {
     }
 
     fn on_read_hit(&mut self, line: LineId, stored: &mut Line512) -> ReadOutcome {
-        self.ops += 1;
-        if self.states[line].dirty_protected && self.dfh.get(line) == Dfh::Stable0 {
+        self.classifier.tick();
+        if self.flags[line].dirty_protected && self.classifier.get(line) == Dfh::Stable0 {
             // §5.6.1 dirty b'00 line: SECDED checkbits back the parity.
             if let Some(EccPayload::Secded { code, .. }) = self.ecc.lookup(line) {
                 return match secded().decode(stored, code) {
@@ -546,21 +495,17 @@ impl LineProtection for KilliScheme {
                         // loss; retrain this line from scratch.
                         self.detections += 1;
                         self.ecc.invalidate(line);
-                        self.states[line].dirty_protected = false;
-                        self.transition(line, Dfh::Unknown);
+                        self.flags[line].dirty_protected = false;
+                        self.classifier.transition(line, Dfh::Unknown);
                         ReadOutcome::ErrorMiss { extra_cycles: 0 }
                     }
                 };
             }
             debug_assert!(false, "dirty-protected line without ECC entry");
         }
-        match self.dfh.get(line) {
+        match self.classifier.get(line) {
             Dfh::Stable0 => {
-                let obs = SegObservation::observe4(self.states[line].parity4, seg4(stored));
-                self.sink.emit(|| KilliEvent::ParityObservation {
-                    line: line as u32,
-                    mismatch: !matches!(obs, SegObservation::Match),
-                });
+                let obs = self.parity.observe_stable(line, stored);
                 match classify_stable0(obs) {
                     Verdict::SendClean { .. } => ReadOutcome::Clean {
                         extra_cycles: 0,
@@ -568,7 +513,7 @@ impl LineProtection for KilliScheme {
                     },
                     Verdict::ErrorMiss { next } => {
                         self.detections += 1;
-                        self.transition(line, next);
+                        self.classifier.transition(line, next);
                         ReadOutcome::ErrorMiss { extra_cycles: 0 }
                     }
                 }
@@ -679,18 +624,14 @@ impl LineProtection for KilliScheme {
                             killi_ecc::bch::DectedDecode::Detected => {
                                 self.detections += 1;
                                 self.ecc.invalidate(line);
-                                self.states[line].dected = false;
-                                self.transition(line, Dfh::Disabled);
+                                self.flags[line].dected = false;
+                                self.classifier.transition(line, Dfh::Disabled);
                                 ReadOutcome::ErrorMiss { extra_cycles: 0 }
                             }
                         }
                     }
                     EccPayload::Secded { code, .. } => {
-                        let seg = SegObservation::observe4(self.states[line].parity4, seg4(stored));
-                        self.sink.emit(|| KilliEvent::ParityObservation {
-                            line: line as u32,
-                            mismatch: !matches!(seg, SegObservation::Match),
-                        });
+                        let seg = self.parity.observe_stable(line, stored);
                         let ecc = secded().observe(stored, code);
                         let dec = secded().interpret(ecc);
                         let verdict = classify_stable1(seg, ecc, dec);
@@ -721,7 +662,7 @@ impl LineProtection for KilliScheme {
     fn on_displaced(&mut self, line: LineId, stored: &Line512) -> bool {
         // Whatever happens, the displaced line loses its escalated dirty
         // protection (the L2 writes dirty data back before dropping it).
-        self.states[line].dirty_protected = false;
+        self.flags[line].dirty_protected = false;
         let Some((pending_line, payload)) = self.pending_displaced.take() else {
             return false;
         };
@@ -729,10 +670,10 @@ impl LineProtection for KilliScheme {
             self.pending_displaced = Some((pending_line, payload));
             return false;
         }
-        match (self.dfh.get(line), payload) {
+        match (self.classifier.get(line), payload) {
             (Dfh::Unknown, EccPayload::Olsc(words)) => {
                 let _ = self.classify_olsc(line, stored, &words);
-                self.dfh.get(line) == Dfh::Stable0
+                self.classifier.get(line) == Dfh::Stable0
             }
             (Dfh::Unknown, payload) => {
                 // Classify the line with the displaced metadata while it is
@@ -741,7 +682,7 @@ impl LineProtection for KilliScheme {
                 let (seg, ecc, dec) = self.observe_unknown(line, stored, payload);
                 let verdict = classify_unknown(seg, ecc, dec);
                 self.apply_verdict(line, verdict, stored);
-                self.dfh.get(line) == Dfh::Stable0
+                self.classifier.get(line) == Dfh::Stable0
             }
             // A `b'10` line cannot survive without its checkbits.
             _ => false,
@@ -749,8 +690,8 @@ impl LineProtection for KilliScheme {
     }
 
     fn on_evict(&mut self, line: LineId, stored: &Line512) {
-        self.ops += 1;
-        match self.dfh.get(line) {
+        self.classifier.tick();
+        match self.classifier.get(line) {
             Dfh::Unknown => {
                 if self.config.eviction_training {
                     // The entry may just have been displaced from the ECC
@@ -787,17 +728,17 @@ impl LineProtection for KilliScheme {
                 self.ecc.invalidate(line);
             }
             Dfh::Stable0 => {
-                if self.states[line].dirty_protected {
+                if self.flags[line].dirty_protected {
                     self.ecc.invalidate(line);
                 }
             }
             Dfh::Disabled => {}
         }
-        self.states[line].dirty_protected = false;
+        self.flags[line].dirty_protected = false;
     }
 
     fn on_promote(&mut self, line: LineId) {
-        if self.config.coordinated_promotion && self.dfh.get(line).needs_ecc_entry() {
+        if self.config.coordinated_promotion && self.classifier.get(line).needs_ecc_entry() {
             self.ecc.promote(line);
         }
     }
@@ -808,30 +749,17 @@ impl LineProtection for KilliScheme {
 
     fn attach_sink(&mut self, sink: Sink) {
         self.ecc.attach_sink(sink.clone());
-        self.sink = sink;
+        self.parity.attach_sink(sink.clone());
+        self.classifier.attach_sink(sink);
     }
 
     fn metrics(&self) -> MetricSet {
         let mut m = MetricSet::new();
-        m.set(
-            Counter::DisabledLines,
-            self.dfh.census()[Dfh::Disabled.bits() as usize],
-        );
+        m.set(Counter::DisabledLines, self.classifier.disabled_lines());
         m.set(Counter::Corrections, self.corrections);
         m.set(Counter::Detections, self.detections);
-        m.set(Counter::EccCacheAccesses, self.ecc.accesses());
-        m.set(Counter::EccCacheDisplacements, self.ecc.evictions());
-        m.dfh_transitions = self.transitions;
-        m.set(Counter::DfhTransitions, m.total_transitions());
-        let census = self.dfh_census();
-        m.dfh_census = Some([
-            census[0] as u64,
-            census[1] as u64,
-            census[2] as u64,
-            census[3] as u64,
-        ]);
-        m.ecc_occupancy = *self.ecc.occupancy_histogram();
-        m.training_latency_ops = self.training_hist;
+        self.classifier.fill_metrics(&mut m);
+        CorrectionStore::fill_metrics(&self.ecc, &mut m);
         m
     }
 }
@@ -840,7 +768,7 @@ impl std::fmt::Debug for KilliScheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KilliScheme")
             .field("config", &self.config)
-            .field("lines", &self.states.len())
+            .field("lines", &self.flags.len())
             .field("census", &self.dfh_census())
             .finish()
     }
@@ -1085,6 +1013,21 @@ mod tests {
         s.reset();
         assert_eq!(s.dfh(0), Dfh::Unknown, "voltage change clears DFH");
         assert_eq!(s.ecc_cache().occupancy(), 0);
+    }
+
+    #[test]
+    fn try_new_reports_geometry_errors_instead_of_panicking() {
+        let map = Arc::new(FaultMap::fault_free(LINES));
+        // Fault map smaller than the L2.
+        let err = KilliScheme::try_new(config(), Arc::clone(&map), LINES * 2, WAYS).unwrap_err();
+        assert_eq!(err, "fault map too small");
+        // ECC cache smaller than one set: 16 lines / ratio 16 = 1 entry.
+        let bad = KilliConfig {
+            ecc_cache: EccCacheConfig { ratio: 16, ways: 4 },
+            ..KilliConfig::with_ratio(16)
+        };
+        let err = KilliScheme::try_new(bad, map, LINES, WAYS).unwrap_err();
+        assert_eq!(err, "ECC cache smaller than one set");
     }
 
     #[test]

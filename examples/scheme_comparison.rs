@@ -22,7 +22,8 @@ fn main() {
         SchemeSpec::Killi(16),
     ];
     println!("simulating xsbench under 5 protection schemes at 0.625 x VDD ...");
-    let results = run_matrix(&[Workload::Xsbench], &schemes, &config);
+    let configs: Vec<_> = schemes.iter().map(SchemeSpec::config).collect();
+    let results = run_matrix(&[Workload::Xsbench], &configs, &config);
     let base = baseline_of(&results, "xsbench");
 
     let area = AreaModel::paper();

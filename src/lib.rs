@@ -11,7 +11,7 @@
 //! - [`workloads`] — synthetic GPGPU trace generators,
 //! - [`model`] — analytic coverage, area and power models,
 //! - [`obs`] — typed event/metrics observability layer,
-//! - [`bench`] — experiment runner and Monte-Carlo sweep engine.
+//! - [`mod@bench`] — experiment runner and Monte-Carlo sweep engine.
 //!
 //! # Quickstart
 //!

@@ -43,9 +43,10 @@ fn recording_sink_does_not_perturb_simulation() {
     let gpu = small_gpu();
     let map = lv_map(&gpu);
     for spec in [SchemeSpec::Killi(16), SchemeSpec::MsEcc, SchemeSpec::Flair] {
+        let scheme = spec.config();
         let quiet = run_cell(
             Workload::Fft,
-            spec,
+            &scheme,
             &gpu,
             3_000,
             &map,
@@ -54,7 +55,7 @@ fn recording_sink_does_not_perturb_simulation() {
         );
         let traced = run_cell(
             Workload::Fft,
-            spec,
+            &scheme,
             &gpu,
             3_000,
             &map,
@@ -88,7 +89,7 @@ fn exported_trace_is_well_formed_jsonl() {
     };
     let r = run_cell(
         Workload::Xsbench,
-        SchemeSpec::Killi(16),
+        &SchemeSpec::Killi(16).config(),
         &gpu,
         3_000,
         &map,
@@ -126,7 +127,7 @@ fn run_cell_metrics_agree_with_sim_stats() {
     let map = lv_map(&gpu);
     let r = run_cell(
         Workload::Fft,
-        SchemeSpec::Killi(16),
+        &SchemeSpec::Killi(16).config(),
         &gpu,
         3_000,
         &map,

@@ -14,7 +14,7 @@ fn tiny_sweep(threads: usize, trace_capacity: Option<usize>) -> SweepConfig {
         root_seed: 2024,
         replications: 2,
         vdds: vec![0.65, 0.6],
-        schemes: vec![SchemeSpec::Killi(16)],
+        schemes: vec![SchemeSpec::Killi(16).config()],
         workloads: vec![Workload::Fft, Workload::Hacc],
         ops_per_cu: 1200,
         gpu: GpuConfig {

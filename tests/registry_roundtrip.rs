@@ -1,0 +1,184 @@
+//! Property tests for the scheme registry's declarative configs: every
+//! `SchemeConfig` must survive a JSON round-trip unchanged, the CLI
+//! shorthand must agree with the JSON spelling, and malformed or unknown
+//! configs must surface as typed [`BuildError`]s — never panics.
+
+use std::sync::Arc;
+
+use killi_repro::bench::schemes::{
+    default_registry, BuildCtx, BuildError, ParamValue, SchemeConfig,
+};
+use killi_repro::fault::map::FaultMap;
+use killi_repro::sim::cache::CacheGeometry;
+
+fn geometry() -> CacheGeometry {
+    CacheGeometry {
+        size_bytes: 64 * 1024,
+        ways: 16,
+        line_bytes: 64,
+    }
+}
+
+fn ctx() -> BuildCtx {
+    let geo = geometry();
+    BuildCtx::new(Arc::new(FaultMap::fault_free(geo.lines())), geo)
+}
+
+/// A config exercising every [`ParamValue`] variant. The params are
+/// deliberately not registered anywhere: round-tripping happens before
+/// validation, so the serialization contract must hold for any config.
+fn exotic_config() -> SchemeConfig {
+    SchemeConfig::new("hypothetical")
+        .with("count", ParamValue::U64(17))
+        .with("scale", ParamValue::F64(0.625))
+        .with("enabled", ParamValue::Bool(false))
+        .with("note", ParamValue::Str("quotes \"and\" back\\slash".into()))
+}
+
+#[test]
+fn every_registered_default_round_trips_through_json() {
+    let registry = default_registry();
+    for name in registry.names() {
+        let config = SchemeConfig::new(name);
+        let json = config.to_json();
+        let back = SchemeConfig::from_json(&json)
+            .unwrap_or_else(|e| panic!("{name}: {json} did not parse back: {e}"));
+        assert_eq!(back, config, "{name} changed across a JSON round-trip");
+    }
+}
+
+#[test]
+fn overridden_params_round_trip_through_json() {
+    let registry = default_registry();
+    for name in registry.names() {
+        let descriptor = registry.descriptor(name).expect("listed name resolves");
+        let mut config = SchemeConfig::new(name);
+        for param in &descriptor.params {
+            config = config.with(param.name, param.default.clone());
+        }
+        let back = SchemeConfig::from_json(&config.to_json()).expect("round-trip parses");
+        assert_eq!(back, config, "{name} with explicit defaults diverged");
+        // Explicit defaults must also build to the same label as the bare name.
+        assert_eq!(
+            registry.label(&back).unwrap(),
+            registry.label(&SchemeConfig::new(name)).unwrap()
+        );
+    }
+}
+
+#[test]
+fn every_param_value_variant_round_trips() {
+    let config = exotic_config();
+    let back = SchemeConfig::from_json(&config.to_json()).expect("round-trip parses");
+    assert_eq!(back, config);
+}
+
+#[test]
+fn shorthand_and_json_spellings_agree() {
+    let shorthand = SchemeConfig::parse("killi:ratio=16,ecc_sets=64,ecc_ways=8").unwrap();
+    let json = SchemeConfig::from_json(
+        r#"{"name": "killi", "params": {"ratio": 16, "ecc_sets": 64, "ecc_ways": 8}}"#,
+    )
+    .unwrap();
+    assert_eq!(shorthand, json);
+    assert_eq!(
+        default_registry().label(&shorthand).unwrap(),
+        "killi-ecc64x8"
+    );
+}
+
+#[test]
+fn list_round_trips_through_both_json_shapes() {
+    let configs = vec![
+        SchemeConfig::new("baseline"),
+        SchemeConfig::new("killi").with("ratio", ParamValue::U64(16)),
+        exotic_config(),
+    ];
+    let bare = format!(
+        "[{}]",
+        configs
+            .iter()
+            .map(SchemeConfig::to_json)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    assert_eq!(SchemeConfig::list_from_json(&bare).unwrap(), configs);
+    let wrapped = format!("{{\"schemes\": {bare}}}");
+    assert_eq!(SchemeConfig::list_from_json(&wrapped).unwrap(), configs);
+}
+
+#[test]
+fn unknown_scheme_is_a_typed_error() {
+    let registry = default_registry();
+    let config = SchemeConfig::new("no-such-scheme");
+    match registry.validate(&config) {
+        Err(BuildError::UnknownScheme { name }) => assert_eq!(name, "no-such-scheme"),
+        other => panic!("expected UnknownScheme, got {other:?}"),
+    }
+    assert!(matches!(
+        registry.build(&config, &ctx()),
+        Err(BuildError::UnknownScheme { .. })
+    ));
+    assert!(matches!(
+        registry.label(&config),
+        Err(BuildError::UnknownScheme { .. })
+    ));
+}
+
+#[test]
+fn unknown_and_mistyped_params_are_typed_errors() {
+    let registry = default_registry();
+    match registry.validate(&SchemeConfig::new("killi").with("ratio2", ParamValue::U64(4))) {
+        Err(BuildError::UnknownParam { scheme, param }) => {
+            assert_eq!((scheme.as_str(), param.as_str()), ("killi", "ratio2"));
+        }
+        other => panic!("expected UnknownParam, got {other:?}"),
+    }
+    match registry.validate(&SchemeConfig::new("killi").with("ratio", ParamValue::Bool(true))) {
+        Err(BuildError::InvalidParam { scheme, param, .. }) => {
+            assert_eq!((scheme.as_str(), param.as_str()), ("killi", "ratio"));
+        }
+        other => panic!("expected InvalidParam, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_inputs_are_parse_errors() {
+    for bad in [
+        "",            // no name at all
+        ":ratio=4",    // empty name
+        "killi:ratio", // param with no value
+        "killi:=4",    // param with no key
+    ] {
+        assert!(
+            matches!(SchemeConfig::parse(bad), Err(BuildError::Parse { .. })),
+            "{bad:?} should be a parse error"
+        );
+    }
+    for bad in [
+        "not json",
+        "{\"params\": {}}",       // missing name
+        "{\"name\": 7}",          // non-string name
+        "[{\"name\": \"killi\"}", // truncated array
+    ] {
+        let single = SchemeConfig::from_json(bad);
+        let list = SchemeConfig::list_from_json(bad);
+        assert!(
+            matches!(single, Err(BuildError::Parse { .. }))
+                && matches!(list, Err(BuildError::Parse { .. })),
+            "{bad:?} should be a parse error, got {single:?} / {list:?}"
+        );
+    }
+}
+
+#[test]
+fn every_registered_scheme_builds_from_its_default_config() {
+    let registry = default_registry();
+    let ctx = ctx();
+    for name in registry.names() {
+        let config = SchemeConfig::new(name);
+        registry
+            .build(&config, &ctx)
+            .unwrap_or_else(|e| panic!("{name} failed to build from defaults: {e}"));
+    }
+}

@@ -3,11 +3,15 @@
 //! the capability ordering the paper establishes.
 
 use killi_bench::runner::{baseline_of, run_matrix, MatrixConfig};
-use killi_bench::schemes::SchemeSpec;
+use killi_bench::schemes::{SchemeConfig, SchemeSpec};
 use killi_repro::fault::cell_model::NormVdd;
 use killi_repro::sim::cache::CacheGeometry;
 use killi_repro::sim::gpu::GpuConfig;
 use killi_repro::workloads::Workload;
+
+fn configs(specs: &[SchemeSpec]) -> Vec<SchemeConfig> {
+    specs.iter().map(SchemeSpec::config).collect()
+}
 
 fn config(vdd: f64) -> MatrixConfig {
     MatrixConfig {
@@ -33,7 +37,7 @@ fn config(vdd: f64) -> MatrixConfig {
 fn no_scheme_silently_corrupts_at_operating_point() {
     let results = run_matrix(
         &[Workload::Xsbench, Workload::Fft],
-        &SchemeSpec::figure4_set(),
+        &configs(&SchemeSpec::figure4_set()),
         &config(0.625),
     );
     for r in &results {
@@ -53,7 +57,7 @@ fn no_scheme_silently_corrupts_at_operating_point() {
 fn stronger_codes_disable_fewer_lines() {
     let results = run_matrix(
         &[Workload::Xsbench],
-        &[SchemeSpec::Flair, SchemeSpec::Dected, SchemeSpec::MsEcc],
+        &configs(&[SchemeSpec::Flair, SchemeSpec::Dected, SchemeSpec::MsEcc]),
         &config(0.575), // aggressive voltage separates the schemes
     );
     let disabled = |s: &str| {
@@ -83,7 +87,7 @@ fn every_scheme_close_to_baseline_at_operating_point() {
     // percent of the fault-free nominal baseline.
     let results = run_matrix(
         &[Workload::Miniamr],
-        &SchemeSpec::figure4_set(),
+        &configs(&SchemeSpec::figure4_set()),
         &config(0.625),
     );
     let base = baseline_of(&results, "miniamr");
@@ -97,11 +101,11 @@ fn every_scheme_close_to_baseline_at_operating_point() {
 fn killi_tracks_ecc_cache_size_monotonically_on_capacity_sensitive_load() {
     let results = run_matrix(
         &[Workload::Xsbench],
-        &[
+        &configs(&[
             SchemeSpec::Killi(256),
             SchemeSpec::Killi(64),
             SchemeSpec::Killi(16),
-        ],
+        ]),
         &config(0.625),
     );
     let mpki = |s: &str| results.iter().find(|r| r.scheme == s).unwrap().stats.mpki();
@@ -115,7 +119,7 @@ fn flair_online_training_costs_performance() {
     // DMR/MBIST phase sacrifices capacity and shows up as extra misses.
     let results = run_matrix(
         &[Workload::Xsbench],
-        &[SchemeSpec::Flair, SchemeSpec::FlairOnline],
+        &configs(&[SchemeSpec::Flair, SchemeSpec::FlairOnline]),
         &config(0.625),
     );
     let cycles = |s: &str| results.iter().find(|r| r.scheme == s).unwrap().stats.cycles;
@@ -133,7 +137,7 @@ fn killi_dected_upgrade_reduces_disabled_lines() {
     // two-fault lines that plain Killi must disable.
     let results = run_matrix(
         &[Workload::Xsbench],
-        &[SchemeSpec::Killi(16), SchemeSpec::KilliDected(16)],
+        &configs(&[SchemeSpec::Killi(16), SchemeSpec::KilliDected(16)]),
         &config(0.6),
     );
     let disabled = |s: &str| {
@@ -157,7 +161,7 @@ fn inverted_write_check_classifies_without_error_misses() {
     // misses plain Killi needs for (re)classification largely disappear.
     let results = run_matrix(
         &[Workload::Xsbench],
-        &[SchemeSpec::Killi(16), SchemeSpec::KilliInverted(16)],
+        &configs(&[SchemeSpec::Killi(16), SchemeSpec::KilliInverted(16)]),
         &config(0.6),
     );
     let err = |s: &str| {
