@@ -34,7 +34,9 @@ use killi_obs::MetricSet;
 use crate::exec::{par_map, Progress};
 use crate::report::Table;
 use crate::runner::{run_cell, run_cell_traced, ObsConfig};
-use crate::schemes::{build_scheme, scheme_label, BuildCtx, BuildError, SchemeConfig, SchemeSpec};
+use crate::schemes::{
+    build_scheme, default_registry, scheme_label, BuildCtx, BuildError, SchemeConfig, SchemeSpec,
+};
 
 /// Streaming mean/variance accumulator (Welford's algorithm): numerically
 /// stable and single-pass, so aggregation never materializes sample
@@ -204,6 +206,109 @@ impl SweepConfig {
         }
         Ok(())
     }
+
+    /// Consumes the config into a [`ValidatedSweepConfig`]: validates it
+    /// (including the geometry test-builds of [`SweepConfig::validate`])
+    /// and canonicalizes every scheme spelling against the default
+    /// registry, so downstream consumers — the sweep service's cache in
+    /// particular — can key on [`ValidatedSweepConfig::canonical_json`].
+    pub fn validated(mut self) -> Result<ValidatedSweepConfig, BuildError> {
+        self.validate()?;
+        let registry = default_registry();
+        for scheme in &mut self.schemes {
+            *scheme = registry.canonicalize(scheme)?;
+        }
+        // A sweep always runs at least one replicate (`run_sweep` clamps),
+        // so spell the clamp here too: replications 0 and 1 are the same
+        // sweep and must share a cache key.
+        self.replications = self.replications.max(1);
+        Ok(ValidatedSweepConfig { config: self })
+    }
+}
+
+/// A [`SweepConfig`] that passed [`SweepConfig::validated`]: every scheme
+/// resolves against the registry and is stored in canonical form. The
+/// only way to obtain one is through validation, so APIs taking
+/// `&ValidatedSweepConfig` ([`run_sweep_validated`]) can skip re-checking.
+#[derive(Debug, Clone)]
+pub struct ValidatedSweepConfig {
+    config: SweepConfig,
+}
+
+/// Stable spelling of a write policy for canonical config JSON.
+fn write_policy_name(policy: killi_sim::cache::WritePolicy) -> &'static str {
+    use killi_sim::cache::WritePolicy;
+    match policy {
+        WritePolicy::BypassInvalidate => "bypass_invalidate",
+        WritePolicy::WriteThroughUpdate => "write_through_update",
+        WritePolicy::WriteBack => "write_back",
+    }
+}
+
+impl ValidatedSweepConfig {
+    /// The validated config.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Deterministic JSON over exactly the fields that shape the report
+    /// bytes (schema `killi-sweep-config/v1`). Execution knobs —
+    /// `threads`, `progress_every`, `trace_capacity` — are excluded:
+    /// the report is byte-identical across them (regression-tested), so
+    /// configs differing only there must share a cache key. Schemes are
+    /// already canonical, so any spelling of the same sweep serializes
+    /// to identical bytes.
+    pub fn canonical_json(&self) -> String {
+        let c = &self.config;
+        let mut out = String::from("{\"schema\":\"killi-sweep-config/v1\"");
+        out.push_str(&format!(",\"root_seed\":{}", c.root_seed));
+        out.push_str(&format!(",\"replications\":{}", c.replications));
+        out.push_str(&format!(",\"ops_per_cu\":{}", c.ops_per_cu));
+        let list = |items: Vec<String>| items.join(",");
+        out.push_str(&format!(
+            ",\"vdds\":[{}]",
+            list(c.vdds.iter().map(|&v| json_f64(v)).collect())
+        ));
+        out.push_str(&format!(
+            ",\"schemes\":[{}]",
+            list(c.schemes.iter().map(SchemeConfig::to_json).collect())
+        ));
+        out.push_str(&format!(
+            ",\"workloads\":[{}]",
+            list(c.workloads.iter().map(|w| json_str(w.name())).collect())
+        ));
+        let geometry = |g: &killi_sim::cache::CacheGeometry| {
+            format!(
+                "{{\"size_bytes\":{},\"ways\":{},\"line_bytes\":{}}}",
+                g.size_bytes, g.ways, g.line_bytes
+            )
+        };
+        out.push_str(&format!(
+            ",\"gpu\":{{\"cus\":{},\"l1\":{},\"l1_latency\":{},\"l2\":{},\"l2_banks\":{},\
+             \"l2_tag_latency\":{},\"l2_data_latency\":{},\"mem_latency\":{},\
+             \"max_outstanding\":{},\"write_policy\":{}}}",
+            c.gpu.cus,
+            geometry(&c.gpu.l1),
+            c.gpu.l1_latency,
+            geometry(&c.gpu.l2),
+            c.gpu.l2_banks,
+            c.gpu.l2_tag_latency,
+            c.gpu.l2_data_latency,
+            c.gpu.mem_latency,
+            c.gpu.max_outstanding,
+            json_str(write_policy_name(c.gpu.write_policy)),
+        ));
+        out.push('}');
+        out
+    }
+}
+
+/// Runs a pre-validated sweep. Identical to [`run_sweep`] on the inner
+/// config; the type is the proof that validation already happened, which
+/// is what lets the sweep service validate once at submission and
+/// execute later on a worker without re-checking.
+pub fn run_sweep_validated(config: &ValidatedSweepConfig) -> SweepReport {
+    run_sweep(&config.config)
 }
 
 /// Aggregated statistics of one (vdd, scheme, workload) cell. Baseline
@@ -776,6 +881,56 @@ mod tests {
         assert!(arr.starts_with("[\n"));
         assert!(arr.ends_with("]\n"));
         assert_eq!(arr.matches("killi-sweep/v2").count(), 2);
+    }
+
+    #[test]
+    fn validated_canonical_json_ignores_execution_knobs() {
+        let config = tiny_sweep();
+        let canon = config.clone().validated().unwrap().canonical_json();
+        // Thread count, progress cadence and tracing do not change the
+        // report bytes, so they must not change the cache key either.
+        let retuned = SweepConfig {
+            threads: 1,
+            progress_every: 100,
+            trace_capacity: Some(64),
+            ..config.clone()
+        };
+        assert_eq!(retuned.validated().unwrap().canonical_json(), canon);
+        // A different scheme spelling of the same sweep agrees too.
+        let respelled = SweepConfig {
+            schemes: vec![SchemeConfig::parse("killi:ecc_ways=4,ratio=16").unwrap()],
+            ..config.clone()
+        };
+        assert_eq!(respelled.validated().unwrap().canonical_json(), canon);
+        // Anything report-shaping diverges.
+        let reseeded = SweepConfig {
+            root_seed: 8,
+            ..config
+        };
+        assert_ne!(reseeded.validated().unwrap().canonical_json(), canon);
+    }
+
+    #[test]
+    fn validated_rejects_what_validate_rejects() {
+        let mut config = tiny_sweep();
+        config.schemes.push(SchemeConfig::new("no-such-scheme"));
+        assert!(matches!(
+            config.validated(),
+            Err(BuildError::UnknownScheme { .. })
+        ));
+    }
+
+    #[test]
+    fn run_sweep_validated_matches_run_sweep() {
+        let config = SweepConfig {
+            replications: 1,
+            vdds: vec![0.625],
+            workloads: vec![Workload::Fft],
+            ..tiny_sweep()
+        };
+        let direct = run_sweep(&config).to_json();
+        let validated = config.validated().unwrap();
+        assert_eq!(run_sweep_validated(&validated).to_json(), direct);
     }
 
     #[test]

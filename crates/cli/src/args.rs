@@ -27,8 +27,9 @@ pub enum ArgError {
     },
     /// A positional argument after the subcommand.
     UnexpectedPositional { arg: String },
-    /// An unrecognized subcommand.
-    UnknownCommand { command: String },
+    /// An unrecognized subcommand; `known` is the full dispatch table
+    /// so the message always lists every real command.
+    UnknownCommand { command: String, known: Vec<String> },
     /// An I/O failure while executing a subcommand.
     Io { message: String },
 }
@@ -55,7 +56,11 @@ impl std::fmt::Display for ArgError {
                 expected,
             } => write!(f, "--{flag}: '{value}' is not {expected}"),
             ArgError::UnexpectedPositional { arg } => write!(f, "unexpected argument '{arg}'"),
-            ArgError::UnknownCommand { command } => write!(f, "unknown command '{command}'"),
+            ArgError::UnknownCommand { command, known } => write!(
+                f,
+                "unknown command '{command}' (commands: {})",
+                known.join(", ")
+            ),
             ArgError::Io { message } => write!(f, "{message}"),
         }
     }
@@ -72,8 +77,8 @@ impl From<std::io::Error> for ArgError {
 }
 
 /// Flags that take no value: their presence is the value (`--quick`,
-/// `--build-check`).
-const BOOLEAN_FLAGS: [&str; 2] = ["quick", "build-check"];
+/// `--build-check`, `--help`, `--wait`).
+const BOOLEAN_FLAGS: [&str; 4] = ["quick", "build-check", "help", "wait"];
 
 impl Args {
     /// Parses an iterator of arguments (exclusive of the binary name).
@@ -338,5 +343,21 @@ mod tests {
         assert!(trailing.has("quick"));
         let schemes = parse(&["schemes", "--build-check"]).unwrap();
         assert!(schemes.has("build-check"));
+        let help = parse(&["serve", "--help"]).unwrap();
+        assert!(help.has("help"));
+        let wait = parse(&["submit", "--wait", "--file", "j.json"]).unwrap();
+        assert!(wait.has("wait"));
+        assert_eq!(wait.get_or("file", ""), "j.json");
+    }
+
+    #[test]
+    fn unknown_command_lists_every_known_command() {
+        let e = ArgError::UnknownCommand {
+            command: "swep".to_string(),
+            known: vec!["sweep".to_string(), "serve".to_string()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("'swep'"), "{text}");
+        assert!(text.contains("sweep, serve"), "{text}");
     }
 }

@@ -20,6 +20,12 @@
 //! killi stats     --in results/BENCH_sweep.json
 //! killi trace     [--workload fft] [--scheme killi] [--capacity 4096]
 //!                 [--out FILE.jsonl] | --check FILE.jsonl
+//! killi serve     [--host 127.0.0.1] [--port 7171] [--workers 2]
+//!                 [--queue-depth 32] [--cache-cap 64]
+//! killi submit    [--url http://127.0.0.1:7171] [--file JOB.json] [--wait]
+//! killi status    --job ID [--url http://127.0.0.1:7171]
+//! killi fetch     --job ID [--url http://127.0.0.1:7171] [--out FILE.json]
+//!                 [--wait]
 //! ```
 
 mod args;
@@ -41,6 +47,7 @@ use killi_fault::map::FaultMap;
 use killi_model::area::{checkbits, AreaModel};
 use killi_model::coverage::coverage_at;
 use killi_obs::{parse_json, JsonValue};
+use killi_serve::{Client, Server, ServerConfig};
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_workloads::{TraceParams, Workload};
 
@@ -90,7 +97,61 @@ USAGE:
                   JSON-lines event trace (stdout unless --out).
   killi trace     --check FILE.jsonl
                   Validates a JSON-lines event trace (schema + line syntax).
+  killi serve     [--host 127.0.0.1] [--port 7171] [--workers 2]
+                  [--queue-depth 32] [--cache-cap 64]
+                  Runs the sweep engine as an HTTP service. POST /v1/jobs
+                  takes a sweep config (JSON), GET /v1/jobs/ID and
+                  /v1/jobs/ID/report poll and fetch, /v1/metrics and
+                  /v1/healthz observe. Identical configs share one
+                  content-addressed result; a full queue answers 429 with
+                  Retry-After; SIGTERM/ctrl-c drains in-flight jobs and
+                  exits. --port 0 picks an ephemeral port (printed on the
+                  first stdout line).
+  killi submit    [--url http://127.0.0.1:7171] [--file JOB.json] [--wait]
+                  Submits a job (reads stdin when --file is absent or '-')
+                  and prints 'job:', 'cache:' and 'state:' lines; --wait
+                  polls until the job is done or failed.
+  killi status    --job ID [--url http://127.0.0.1:7171]
+  killi fetch     --job ID [--url http://127.0.0.1:7171] [--out FILE.json]
+                  [--wait]
+                  Downloads the killi-sweep/v2 report of a finished job
+                  (stdout unless --out).
+
+Run 'killi <command> --help' (or bare 'killi') to print this text.
 ";
+
+/// A subcommand implementation.
+type Command = fn(&Args) -> Result<(), ArgError>;
+
+/// The dispatch table. Both command lookup and the unknown-command
+/// error derive from this one list, so the error can never advertise a
+/// stale set of subcommands.
+const COMMANDS: &[(&str, Command)] = &[
+    ("coverage", cmd_coverage),
+    ("area", cmd_area),
+    ("faultmap", cmd_faultmap),
+    ("schemes", cmd_schemes),
+    ("simulate", cmd_simulate),
+    ("sweep", cmd_sweep),
+    ("bench", cmd_bench),
+    ("record", cmd_record),
+    ("replay", cmd_replay),
+    ("profile", cmd_profile),
+    ("stats", cmd_stats),
+    ("trace", cmd_trace),
+    ("serve", cmd_serve),
+    ("submit", cmd_submit),
+    ("status", cmd_status),
+    ("fetch", cmd_fetch),
+];
+
+/// Every registered subcommand name, in table order.
+fn command_names() -> Vec<String> {
+    COMMANDS
+        .iter()
+        .map(|(name, _)| (*name).to_string())
+        .collect()
+}
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -100,26 +161,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match args.command.as_deref() {
-        Some("coverage") => cmd_coverage(&args),
-        Some("area") => cmd_area(&args),
-        Some("faultmap") => cmd_faultmap(&args),
-        Some("schemes") => cmd_schemes(&args),
-        Some("simulate") => cmd_simulate(&args),
-        Some("sweep") => cmd_sweep(&args),
-        Some("bench") => cmd_bench(&args),
-        Some("record") => cmd_record(&args),
-        Some("replay") => cmd_replay(&args),
-        Some("profile") => cmd_profile(&args),
-        Some("stats") => cmd_stats(&args),
-        Some("trace") => cmd_trace(&args),
-        Some(other) => Err(ArgError::UnknownCommand {
-            command: other.to_string(),
+    let Some(command) = args.command.as_deref() else {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    };
+    if args.has("help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match COMMANDS.iter().find(|(name, _)| *name == command) {
+        Some((_, run)) => run(&args),
+        None => Err(ArgError::UnknownCommand {
+            command: command.to_string(),
+            known: command_names(),
         }),
-        None => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -282,9 +337,21 @@ fn cmd_schemes(args: &Args) -> Result<(), ArgError> {
             build_scheme(&SchemeConfig::new(d.name), &ctx).map_err(|e| ArgError::Io {
                 message: format!("{}: {e}", d.name),
             })?;
+            // Every scheme must also round-trip through the service's
+            // job-payload path, so `killi serve` can run whatever the
+            // registry can build.
+            let payload = format!(
+                "{{\"root_seed\":1,\"replications\":1,\"vdds\":[0.625],\
+                 \"schemes\":[\"{}\"],\"workloads\":[\"fft\"],\"ops_per_cu\":100}}",
+                d.name
+            );
+            killi_serve::parse_job_spec(payload.as_bytes()).map_err(|e| ArgError::Io {
+                message: format!("{}: not submittable as a service job: {e}", d.name),
+            })?;
         }
         println!(
-            "build check: all {} registered schemes build from their defaults",
+            "build check: all {} registered schemes build from their defaults \
+             and validate as service job payloads",
             registry.descriptors().len()
         );
     }
@@ -779,5 +846,181 @@ fn check_trace(path: &str) -> Result<(), ArgError> {
         });
     }
     println!("{path}: OK ({headers} header(s), {events} event(s))");
+    Ok(())
+}
+
+/// Default service address shared by `serve` (bind port) and the client
+/// subcommands (base URL).
+const DEFAULT_PORT: u16 = 7171;
+
+fn io_msg(message: impl Into<String>) -> ArgError {
+    ArgError::Io {
+        message: message.into(),
+    }
+}
+
+/// `killi serve`: the sweep engine as an HTTP daemon. The first stdout
+/// line is `listening on http://HOST:PORT` (machine-scrapable — CI uses
+/// it to recover an ephemeral `--port 0`); SIGTERM/ctrl-c drains.
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    let config = ServerConfig {
+        host: args.get_or("host", "127.0.0.1"),
+        port: args.get_num("port", DEFAULT_PORT)?,
+        workers: args.get_num::<usize>("workers", 2)?.max(1),
+        queue_depth: args.get_num::<usize>("queue-depth", 32)?.max(1),
+        cache_cap: args.get_num::<usize>("cache-cap", 64)?.max(1),
+        ..ServerConfig::default()
+    };
+    killi_serve::signal::install();
+    let workers = config.workers;
+    let server = Server::bind(config)?;
+    println!("listening on http://{}", server.local_addr());
+    // The port announcement must reach a piped stdout before the accept
+    // loop starts, or CI would poll a file that never fills.
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    eprintln!(
+        "{workers} worker(s); POST /v1/jobs, GET /v1/jobs/ID[/report], \
+         /v1/metrics, /v1/healthz; SIGTERM or ctrl-c drains and exits"
+    );
+    server.run()?;
+    eprintln!("drained; all queued jobs finished");
+    Ok(())
+}
+
+/// Shared `--url` handling for the client subcommands.
+fn service_client(args: &Args) -> Result<Client, ArgError> {
+    let url = args.get_or("url", &format!("http://127.0.0.1:{DEFAULT_PORT}"));
+    Client::new(&url).map_err(io_msg)
+}
+
+/// Polls `GET /v1/jobs/:id` until the job settles; returns the final
+/// state name (`done` or `failed`).
+fn wait_for_job(client: &Client, job: &str) -> Result<String, ArgError> {
+    loop {
+        let resp = client.get(&format!("/v1/jobs/{job}")).map_err(io_msg)?;
+        if resp.status != 200 {
+            return Err(io_msg(format!(
+                "status poll failed: HTTP {} {}",
+                resp.status,
+                resp.text()
+            )));
+        }
+        let root = parse_json(&resp.text()).map_err(|e| io_msg(e.to_string()))?;
+        let state = root
+            .get("state")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        if state == "done" || state == "failed" {
+            return Ok(state);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+/// `killi submit`: POST a job spec, print awk-friendly `job:`/`cache:`/
+/// `state:` lines; `--wait` blocks until the job settles and fails the
+/// process when the job failed.
+fn cmd_submit(args: &Args) -> Result<(), ArgError> {
+    let client = service_client(args)?;
+    let file = args.get_or("file", "");
+    let payload = if file.is_empty() || file == "-" {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        std::io::stdin().read_to_end(&mut buf)?;
+        buf
+    } else {
+        std::fs::read(&file)?
+    };
+    let resp = client.post("/v1/jobs", &payload).map_err(io_msg)?;
+    if resp.status != 200 && resp.status != 202 {
+        return Err(io_msg(format!(
+            "submit rejected: HTTP {} {}",
+            resp.status,
+            resp.text()
+        )));
+    }
+    let root = parse_json(&resp.text()).map_err(|e| io_msg(e.to_string()))?;
+    let job = root
+        .get("job")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| io_msg("submit response has no job id"))?
+        .to_string();
+    let cached = root
+        .get("cached")
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false);
+    let mut state = root
+        .get("state")
+        .and_then(|v| v.as_str())
+        .unwrap_or("?")
+        .to_string();
+    println!("job: {job}");
+    println!("cache: {}", if cached { "hit" } else { "miss" });
+    if args.has("wait") {
+        state = wait_for_job(&client, &job)?;
+    }
+    println!("state: {state}");
+    if state == "failed" {
+        return Err(io_msg(format!("job {job} failed")));
+    }
+    Ok(())
+}
+
+/// `killi status`: one status poll, printed as `job:`/`state:` lines.
+fn cmd_status(args: &Args) -> Result<(), ArgError> {
+    let client = service_client(args)?;
+    let job = args.require("job", "status")?;
+    let resp = client.get(&format!("/v1/jobs/{job}")).map_err(io_msg)?;
+    if resp.status != 200 {
+        return Err(io_msg(format!("HTTP {} {}", resp.status, resp.text())));
+    }
+    let root = parse_json(&resp.text()).map_err(|e| io_msg(e.to_string()))?;
+    println!("job: {job}");
+    println!(
+        "state: {}",
+        root.get("state").and_then(|v| v.as_str()).unwrap_or("?")
+    );
+    if let Some(error) = root.get("error").and_then(|v| v.as_str()) {
+        println!("error: {error}");
+    }
+    Ok(())
+}
+
+/// `killi fetch`: download a finished job's `killi-sweep/v2` report
+/// bytes exactly as the server stored them (stdout unless `--out`).
+fn cmd_fetch(args: &Args) -> Result<(), ArgError> {
+    let client = service_client(args)?;
+    let job = args.require("job", "fetch")?;
+    if args.has("wait") {
+        let state = wait_for_job(&client, &job)?;
+        if state == "failed" {
+            return Err(io_msg(format!("job {job} failed")));
+        }
+    }
+    let resp = client
+        .get(&format!("/v1/jobs/{job}/report"))
+        .map_err(io_msg)?;
+    if resp.status != 200 {
+        return Err(io_msg(format!(
+            "fetch failed: HTTP {} {}",
+            resp.status,
+            resp.text()
+        )));
+    }
+    let out = args.get_or("out", "");
+    if out.is_empty() {
+        use std::io::Write as _;
+        std::io::stdout().write_all(&resp.body)?;
+    } else {
+        if let Some(dir) = std::path::Path::new(&out).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&out, &resp.body)?;
+        eprintln!("wrote {out} ({} bytes)", resp.body.len());
+    }
     Ok(())
 }

@@ -559,6 +559,32 @@ impl SchemeRegistry {
         Ok((descriptor.label)(&resolved))
     }
 
+    /// Normalizes a config to its canonical spelling: every declared
+    /// parameter spelled explicitly, in descriptor declaration order,
+    /// with values coerced to the declared type. Any two configs that
+    /// resolve to the same scheme — CLI shorthand, expanded JSON,
+    /// reordered keys, defaults spelled out or omitted — canonicalize
+    /// to equal [`SchemeConfig`]s, which is what content-addressed
+    /// caching keys on.
+    pub fn canonicalize(&self, config: &SchemeConfig) -> Result<SchemeConfig, BuildError> {
+        let resolved = self.resolve(config)?;
+        Ok(SchemeConfig {
+            name: resolved.scheme.to_string(),
+            params: resolved
+                .values
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        })
+    }
+
+    /// The canonical JSON spelling of a config (see
+    /// [`SchemeRegistry::canonicalize`]): equal schemes produce
+    /// byte-identical JSON, suitable for hashing into a cache key.
+    pub fn canonical_json(&self, config: &SchemeConfig) -> Result<String, BuildError> {
+        Ok(self.canonicalize(config)?.to_json())
+    }
+
     /// Builds a config into a live scheme with the context's sink attached.
     pub fn build(
         &self,
@@ -987,6 +1013,60 @@ mod tests {
         assert_eq!(list.len(), 2);
         assert_eq!(list[0], cfg);
         assert!(list[1].is_baseline());
+    }
+
+    #[test]
+    fn canonicalize_unifies_every_spelling() {
+        let reg = registry();
+        // Shorthand, expanded JSON, reordered keys, and explicit
+        // defaults are all the same scheme, so they must canonicalize
+        // to byte-identical JSON (the cache-key property).
+        let spellings = [
+            SchemeConfig::parse("killi:ratio=16").unwrap(),
+            SchemeConfig::from_json(r#"{"name": "killi", "params": {"ratio": 16}}"#).unwrap(),
+            SchemeConfig::from_json(r#"{"name": "killi", "params": {"ecc_ways": 4, "ratio": 16}}"#)
+                .unwrap(),
+            SchemeConfig::parse("killi:check_latency=1,ratio=16,victim_priority=true").unwrap(),
+            // A float spelling of an integral value coerces to U64.
+            SchemeConfig::new("killi").with("ratio", ParamValue::F64(16.0)),
+        ];
+        let canon = reg.canonical_json(&spellings[0]).unwrap();
+        for s in &spellings[1..] {
+            assert_eq!(reg.canonical_json(s).unwrap(), canon, "spelling {s}");
+        }
+        // ...and a different ratio does not collide.
+        let other = reg
+            .canonical_json(&SchemeConfig::parse("killi:ratio=32").unwrap())
+            .unwrap();
+        assert_ne!(other, canon);
+    }
+
+    #[test]
+    fn canonicalize_spells_every_declared_param() {
+        let reg = registry();
+        let canon = reg
+            .canonicalize(&SchemeConfig::parse("killi:ratio=16").unwrap())
+            .unwrap();
+        let declared = &reg.descriptor("killi").unwrap().params;
+        assert_eq!(canon.params.len(), declared.len());
+        for (spec, (key, _)) in declared.iter().zip(canon.params.iter()) {
+            assert_eq!(spec.name, key, "params must follow descriptor order");
+        }
+        // Canonicalizing is idempotent.
+        assert_eq!(reg.canonicalize(&canon).unwrap(), canon);
+    }
+
+    #[test]
+    fn canonicalize_rejects_what_resolve_rejects() {
+        let reg = registry();
+        assert!(matches!(
+            reg.canonicalize(&SchemeConfig::new("frobnicate")),
+            Err(BuildError::UnknownScheme { .. })
+        ));
+        assert!(matches!(
+            reg.canonicalize(&SchemeConfig::new("killi").with("rato", ParamValue::U64(1))),
+            Err(BuildError::UnknownParam { .. })
+        ));
     }
 
     #[test]

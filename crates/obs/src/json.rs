@@ -2,9 +2,17 @@
 //!
 //! The workspace is dependency-free by policy, but the CLI has to read
 //! back the JSON the tooling emits (`killi-sweep/v2` reports,
-//! `killi-obs/v1` trace lines). This parser covers exactly RFC 8259 —
-//! no extensions, no streaming — and keys preserve document order so
-//! round-trip inspection stays deterministic.
+//! `killi-obs/v1` trace lines), and the `killi-serve` daemon has to
+//! parse request bodies from the network. This parser covers exactly
+//! RFC 8259 — no extensions, no streaming — and keys preserve document
+//! order so round-trip inspection stays deterministic.
+//!
+//! Hostile-input posture: every malformed document is a typed
+//! [`JsonError`], never a panic. Nesting is bounded by [`MAX_DEPTH`] so
+//! a few kilobytes of `[[[[…` cannot overflow the recursive-descent
+//! stack; callers that read untrusted bodies additionally cap input
+//! *size* before parsing (the parser itself is O(n) and
+//! allocation-proportional to the document).
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -86,12 +94,20 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth the parser accepts. Deeper documents
+/// yield a typed [`JsonError`] ("nesting too deep") instead of risking
+/// stack exhaustion on adversarial input. 128 is far beyond anything the
+/// toolkit emits (reports nest 4 deep) while keeping worst-case stack
+/// usage a few kilobytes.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document (trailing whitespace allowed,
 /// trailing garbage rejected).
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -105,6 +121,7 @@ pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -113,6 +130,16 @@ impl<'a> Parser<'a> {
             offset: self.pos,
             message: message.to_string(),
         }
+    }
+
+    /// Bumps the container depth, rejecting documents nested beyond
+    /// [`MAX_DEPTH`]. Paired with `descend` in `object`/`array`.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -159,10 +186,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(entries));
         }
         loop {
@@ -178,6 +207,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(entries));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -187,10 +217,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -201,6 +233,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -382,5 +415,102 @@ mod tests {
         assert_eq!(parse("7").unwrap().as_u64(), Some(7));
         assert_eq!(parse("7.5").unwrap().as_u64(), None);
         assert_eq!(parse("-7").unwrap().as_u64(), None);
+    }
+
+    // ----- hostile network input (the killi-serve request path) -----
+
+    #[test]
+    fn truncated_documents_are_typed_errors() {
+        // Every prefix of a valid document must fail cleanly, never panic.
+        let doc = r#"{"name": "killi", "params": {"ratio": 16, "flags": [true, null]}}"#;
+        for end in 0..doc.len() {
+            if doc.is_char_boundary(end) {
+                assert!(parse(&doc[..end]).is_err(), "prefix {end} should fail");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_unicode_escapes_are_typed_errors() {
+        for bad in [
+            "\"\\u12\"",          // truncated escape
+            "\"\\uzzzz\"",        // non-hex digits
+            "\"\\ud800\"",        // lone high surrogate
+            "\"\\ud800\\n\"",     // high surrogate followed by non-\u escape
+            "\"\\udc00\"",        // lone low surrogate (invalid codepoint)
+            "\"\\ud800\\ud800\"", // high surrogate followed by high surrogate
+            "\"\\u\"",            // empty escape
+        ] {
+            let e = parse(bad).expect_err(bad);
+            assert!(!e.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // One over the limit fails with the typed error...
+        let too_deep = "[".repeat(MAX_DEPTH + 1);
+        let e = parse(&too_deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+        // ...as does an adversarial megabyte of opening brackets (this
+        // would previously recurse ~1M frames deep).
+        let hostile = "[".repeat(1 << 20);
+        assert!(parse(&hostile).is_err());
+        let hostile_obj = "{\"a\":".repeat(1 << 16);
+        assert!(parse(&hostile_obj).is_err());
+        // A document at exactly the limit still parses.
+        let at_limit = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_limit).is_ok());
+        // Depth is about nesting, not element count: a wide flat document
+        // is fine.
+        let wide = format!("[{}1]", "1,".repeat(10_000));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn sibling_containers_do_not_accumulate_depth() {
+        // Depth must be released when a container closes: many sibling
+        // arrays at modest depth stay parseable.
+        let siblings = format!("[{}[] ]", "[],".repeat(MAX_DEPTH * 4));
+        assert!(parse(&siblings).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_are_kept_in_order_and_get_returns_the_first() {
+        let v = parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        match &v {
+            JsonValue::Object(entries) => {
+                assert_eq!(entries.len(), 3, "duplicates are preserved, not merged");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_bytes_and_garbage_are_typed_errors() {
+        for bad in [
+            "\"\u{0}\"",
+            "\"\t\"",
+            "{\"a\" 1}",
+            "[1 2]",
+            "nul",
+            "+1",
+            "01x",
+            "\u{7f}",
+            "{\"a\":1}}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn large_flat_documents_parse_linearly() {
+        // ~1 MiB of benign numbers: the parser must handle it (size caps
+        // are the *server's* job; the parser only bounds depth).
+        let big = format!("[{}0]", "123456789,".repeat(110_000));
+        assert!(big.len() > (1 << 20));
+        let v = parse(&big).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 110_001);
     }
 }

@@ -1,0 +1,160 @@
+//! A matching minimal HTTP client for the CLI subcommands
+//! (`killi submit`/`status`/`fetch`) and the integration tests.
+//!
+//! Speaks exactly the dialect the server does: HTTP/1.1, one request
+//! per connection, `Content-Length` bodies. Base URLs are
+//! `http://host:port` only — the service is a localhost/LAN tool, not
+//! an internet client.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long the client waits for a connect or a response.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// A header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy — error bodies are always ASCII).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A client bound to one `http://host:port` base URL.
+#[derive(Debug, Clone)]
+pub struct Client {
+    authority: String,
+}
+
+impl Client {
+    /// Parses a base URL. Accepts `http://host:port` (an optional
+    /// trailing slash is fine) or a bare `host:port`.
+    pub fn new(base_url: &str) -> Result<Client, String> {
+        let rest = base_url.strip_prefix("http://").unwrap_or(base_url);
+        if let Some(scheme) = rest.split("://").nth(1).map(|_| rest) {
+            return Err(format!("unsupported URL scheme in `{scheme}`"));
+        }
+        let authority = rest.trim_end_matches('/');
+        if authority.is_empty() || !authority.contains(':') {
+            return Err(format!("`{base_url}` is not host:port"));
+        }
+        Ok(Client {
+            authority: authority.to_string(),
+        })
+    }
+
+    /// GETs a path.
+    pub fn get(&self, path: &str) -> Result<ClientResponse, String> {
+        self.request("GET", path, &[])
+    }
+
+    /// POSTs a body to a path.
+    pub fn post(&self, path: &str, body: &[u8]) -> Result<ClientResponse, String> {
+        self.request("POST", path, body)
+    }
+
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<ClientResponse, String> {
+        let mut stream = TcpStream::connect(&self.authority)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.authority))?;
+        stream
+            .set_read_timeout(Some(CLIENT_TIMEOUT))
+            .map_err(|e| e.to_string())?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.authority,
+            body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .map_err(|e| e.to_string())?;
+        stream.write_all(body).map_err(|e| e.to_string())?;
+        stream.flush().map_err(|e| e.to_string())?;
+
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| format!("reading response: {e}"))?;
+        parse_response(&raw)
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response has no header terminator")?;
+    let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| "non-utf8 response head")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let headers = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_url_spellings() {
+        for ok in [
+            "http://127.0.0.1:8080",
+            "127.0.0.1:8080",
+            "http://[::1]:99/",
+        ] {
+            assert!(Client::new(ok).is_ok(), "{ok} should parse");
+        }
+        for bad in ["https://x:1", "ftp://x:1", "localhost", ""] {
+            assert!(Client::new(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parses_a_response_with_headers_and_body() {
+        let raw =
+            b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\ncontent-length: 2\r\n\r\nhi";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.text(), "hi");
+    }
+
+    #[test]
+    fn garbage_responses_are_errors_not_panics() {
+        assert!(parse_response(b"").is_err());
+        assert!(parse_response(b"HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_response(b"hello there").is_err());
+    }
+}

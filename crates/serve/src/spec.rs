@@ -1,0 +1,370 @@
+//! The job payload: `SweepConfig` as JSON, parsed with the in-repo
+//! `killi-obs` parser and validated/canonicalized through
+//! [`SweepConfig::validated`] before it ever reaches the queue.
+//!
+//! Required fields: `root_seed`, `replications`, `vdds`, `schemes`,
+//! `workloads`, `ops_per_cu`. Schemes accept both spellings the
+//! registry knows — objects (`{"name": "killi", "params": {...}}`) and
+//! CLI shorthand strings (`"killi:ratio=16"`). The optional `gpu`
+//! object overrides the default hardware point with the sweep-facing
+//! knobs (`cus`, `l2_kb`, `l2_ways`, `line_bytes`, `l2_banks`,
+//! `mem_latency`). `threads` tunes execution only — it is excluded from
+//! the canonical JSON, so it never splits the result cache.
+//!
+//! Unknown keys are errors, not warnings: a typo like `"replciations"`
+//! must fail the submission instead of silently running a different
+//! sweep.
+
+use killi_bench::schemes::SchemeConfig;
+use killi_bench::sweep::{SweepConfig, ValidatedSweepConfig};
+use killi_fault::rng::splitmix64;
+use killi_obs::serve::JobId;
+use killi_obs::{parse_json, JsonValue};
+use killi_sim::gpu::GpuConfig;
+use killi_workloads::Workload;
+
+/// Why a job payload was rejected (always a 400 on the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Human-readable reason, surfaced in the error body.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn spec_err(message: impl Into<String>) -> SpecError {
+    SpecError {
+        message: message.into(),
+    }
+}
+
+/// Top-level keys the payload may carry.
+const TOP_KEYS: [&str; 8] = [
+    "root_seed",
+    "replications",
+    "vdds",
+    "schemes",
+    "workloads",
+    "ops_per_cu",
+    "gpu",
+    "threads",
+];
+
+/// Keys of the `gpu` override object.
+const GPU_KEYS: [&str; 6] = [
+    "cus",
+    "l2_kb",
+    "l2_ways",
+    "line_bytes",
+    "l2_banks",
+    "mem_latency",
+];
+
+fn require_u64(v: &JsonValue, key: &str) -> Result<u64, SpecError> {
+    v.get(key)
+        .ok_or_else(|| spec_err(format!("missing required field `{key}`")))?
+        .as_u64()
+        .ok_or_else(|| spec_err(format!("`{key}` must be a non-negative integer")))
+}
+
+fn check_keys(
+    entries: &[(String, JsonValue)],
+    allowed: &[&str],
+    ctx: &str,
+) -> Result<(), SpecError> {
+    for (key, _) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err(spec_err(format!("unknown {ctx} field `{key}`")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_gpu(v: &JsonValue) -> Result<GpuConfig, SpecError> {
+    let JsonValue::Object(entries) = v else {
+        return Err(spec_err("`gpu` must be an object"));
+    };
+    check_keys(entries, &GPU_KEYS, "gpu")?;
+    let mut gpu = GpuConfig::default();
+    if let Some(cus) = v.get("cus") {
+        gpu.cus = cus
+            .as_u64()
+            .ok_or_else(|| spec_err("`gpu.cus` must be a non-negative integer"))?
+            as usize;
+    }
+    let mut l2 = gpu.l2;
+    if let Some(kb) = v.get("l2_kb") {
+        l2.size_bytes = kb
+            .as_u64()
+            .ok_or_else(|| spec_err("`gpu.l2_kb` must be a non-negative integer"))?
+            as usize
+            * 1024;
+    }
+    if let Some(ways) = v.get("l2_ways") {
+        l2.ways = ways
+            .as_u64()
+            .ok_or_else(|| spec_err("`gpu.l2_ways` must be a non-negative integer"))?
+            as usize;
+    }
+    if let Some(line) = v.get("line_bytes") {
+        l2.line_bytes = line
+            .as_u64()
+            .ok_or_else(|| spec_err("`gpu.line_bytes` must be a non-negative integer"))?
+            as usize;
+    }
+    gpu.l2 = l2;
+    if let Some(banks) = v.get("l2_banks") {
+        gpu.l2_banks = banks
+            .as_u64()
+            .ok_or_else(|| spec_err("`gpu.l2_banks` must be a non-negative integer"))?
+            as usize;
+    }
+    if let Some(lat) = v.get("mem_latency") {
+        gpu.mem_latency = lat
+            .as_u64()
+            .ok_or_else(|| spec_err("`gpu.mem_latency` must be a non-negative integer"))?
+            as u32;
+    }
+    Ok(gpu)
+}
+
+fn parse_schemes(v: &JsonValue) -> Result<Vec<SchemeConfig>, SpecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| spec_err("`schemes` must be an array"))?;
+    if items.is_empty() {
+        return Err(spec_err("`schemes` must not be empty"));
+    }
+    items
+        .iter()
+        .map(|item| match item {
+            JsonValue::Str(shorthand) => SchemeConfig::parse(shorthand),
+            other => SchemeConfig::from_json_value(other),
+        })
+        .map(|r| r.map_err(|e| spec_err(e.to_string())))
+        .collect()
+}
+
+fn parse_workloads(v: &JsonValue) -> Result<Vec<Workload>, SpecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| spec_err("`workloads` must be an array"))?;
+    if items.is_empty() {
+        return Err(spec_err("`workloads` must not be empty"));
+    }
+    items
+        .iter()
+        .map(|item| {
+            let name = item
+                .as_str()
+                .ok_or_else(|| spec_err("workloads must be name strings"))?;
+            name.parse::<Workload>()
+                .map_err(|e| spec_err(e.to_string()))
+        })
+        .collect()
+}
+
+fn parse_vdds(v: &JsonValue) -> Result<Vec<f64>, SpecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| spec_err("`vdds` must be an array"))?;
+    if items.is_empty() {
+        return Err(spec_err("`vdds` must not be empty"));
+    }
+    items
+        .iter()
+        .map(|item| {
+            let vdd = item
+                .as_f64()
+                .ok_or_else(|| spec_err("vdds must be numbers"))?;
+            if !(0.0..=1.5).contains(&vdd) {
+                return Err(spec_err(format!(
+                    "vdd {vdd} outside the sane [0, 1.5] range"
+                )));
+            }
+            Ok(vdd)
+        })
+        .collect()
+}
+
+/// Parses and validates a job payload into a ready-to-run config.
+pub fn parse_job_spec(body: &[u8]) -> Result<ValidatedSweepConfig, SpecError> {
+    let text = std::str::from_utf8(body).map_err(|_| spec_err("body is not UTF-8"))?;
+    let v = parse_json(text).map_err(|e| spec_err(e.to_string()))?;
+    let JsonValue::Object(entries) = &v else {
+        return Err(spec_err("job payload must be a JSON object"));
+    };
+    check_keys(entries, &TOP_KEYS, "job")?;
+
+    let replications = require_u64(&v, "replications")?;
+    if replications == 0 {
+        return Err(spec_err("`replications` must be at least 1"));
+    }
+    let ops_per_cu = require_u64(&v, "ops_per_cu")?;
+    if ops_per_cu == 0 {
+        return Err(spec_err("`ops_per_cu` must be at least 1"));
+    }
+    let config = SweepConfig {
+        root_seed: require_u64(&v, "root_seed")?,
+        replications: replications as usize,
+        vdds: parse_vdds(
+            v.get("vdds")
+                .ok_or_else(|| spec_err("missing required field `vdds`"))?,
+        )?,
+        schemes: parse_schemes(
+            v.get("schemes")
+                .ok_or_else(|| spec_err("missing required field `schemes`"))?,
+        )?,
+        workloads: parse_workloads(
+            v.get("workloads")
+                .ok_or_else(|| spec_err("missing required field `workloads`"))?,
+        )?,
+        ops_per_cu: ops_per_cu as usize,
+        gpu: match v.get("gpu") {
+            None => GpuConfig::default(),
+            Some(gpu) => parse_gpu(gpu)?,
+        },
+        threads: match v.get("threads") {
+            // Execution-only knob: absent, use every core (the report is
+            // byte-identical either way, so the cache key ignores it).
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            Some(t) => t
+                .as_u64()
+                .ok_or_else(|| spec_err("`threads` must be a non-negative integer"))?
+                as usize,
+        },
+        progress_every: 0,
+        trace_capacity: None,
+    };
+    config.validated().map_err(|e| spec_err(e.to_string()))
+}
+
+/// The content address of a validated config: two independent splitmix64
+/// folds over the canonical JSON bytes, packed into a 128-bit id. Equal
+/// sweeps (any spelling) hash equal; the odds of two *different*
+/// canonical strings colliding are 2^-128-ish, and the server still
+/// stores the canonical string to detect that.
+pub fn job_id_for(config: &ValidatedSweepConfig) -> JobId {
+    let canonical = config.canonical_json();
+    let mut lo = splitmix64(0x9e37_79b9_7f4a_7c15);
+    let mut hi = splitmix64(0xd1b5_4a32_d192_ed03);
+    for chunk in canonical.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        let w = u64::from_le_bytes(word);
+        lo = splitmix64(lo ^ w);
+        hi = splitmix64(hi ^ w.rotate_left(23));
+    }
+    // Fold the length in so a zero-padded final chunk cannot alias an
+    // input with explicit trailing NULs.
+    lo = splitmix64(lo ^ canonical.len() as u64);
+    hi = splitmix64(hi ^ (canonical.len() as u64).rotate_left(32));
+    ((hi as u128) << 64) | lo as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOLDEN: &str = r#"{
+        "root_seed": 2024,
+        "replications": 2,
+        "vdds": [0.65, 0.6],
+        "schemes": [{"name": "killi", "params": {"ratio": 16}}],
+        "workloads": ["fft", "hacc"],
+        "ops_per_cu": 1200,
+        "gpu": {"cus": 2, "l2_kb": 64, "l2_ways": 8, "line_bytes": 64, "l2_banks": 4, "mem_latency": 100}
+    }"#;
+
+    #[test]
+    fn parses_the_golden_job() {
+        let validated = parse_job_spec(GOLDEN.as_bytes()).unwrap();
+        let c = validated.config();
+        assert_eq!(c.root_seed, 2024);
+        assert_eq!(c.replications, 2);
+        assert_eq!(c.vdds, [0.65, 0.6]);
+        assert_eq!(c.workloads, [Workload::Fft, Workload::Hacc]);
+        assert_eq!(c.gpu.cus, 2);
+        assert_eq!(c.gpu.l2.size_bytes, 64 * 1024);
+        assert_eq!(c.gpu.l2.ways, 8);
+        assert_eq!(c.gpu.l2_banks, 4);
+        assert_eq!(c.gpu.mem_latency, 100);
+        // Defaults not named by the gpu override stay at the defaults.
+        assert_eq!(c.gpu.max_outstanding, GpuConfig::default().max_outstanding);
+        assert_eq!(c.gpu.l2.line_bytes, 64);
+    }
+
+    #[test]
+    fn every_spelling_of_a_sweep_shares_one_job_id() {
+        let id = job_id_for(&parse_job_spec(GOLDEN.as_bytes()).unwrap());
+        // Shorthand scheme string, reordered keys, threads spelled out.
+        let respelled = r#"{
+            "threads": 7,
+            "ops_per_cu": 1200,
+            "workloads": ["fft", "hacc"],
+            "schemes": ["killi:ratio=16"],
+            "vdds": [0.65, 0.6],
+            "replications": 2,
+            "root_seed": 2024,
+            "gpu": {"mem_latency": 100, "l2_banks": 4, "line_bytes": 64, "l2_ways": 8, "l2_kb": 64, "cus": 2}
+        }"#;
+        assert_eq!(
+            job_id_for(&parse_job_spec(respelled.as_bytes()).unwrap()),
+            id
+        );
+        // A different sweep gets a different id.
+        let other = GOLDEN.replace("\"root_seed\": 2024", "\"root_seed\": 2025");
+        assert_ne!(job_id_for(&parse_job_spec(other.as_bytes()).unwrap()), id);
+        let other = GOLDEN.replace("\"ratio\": 16", "\"ratio\": 32");
+        assert_ne!(job_id_for(&parse_job_spec(other.as_bytes()).unwrap()), id);
+    }
+
+    #[test]
+    fn typos_and_bad_values_are_typed_errors() {
+        for (body, what) in [
+            ("not json", "non-JSON"),
+            ("[1,2,3]", "non-object"),
+            (r#"{"root_seed": 1}"#, "missing fields"),
+            (
+                &GOLDEN.replace("\"replications\"", "\"replciations\""),
+                "typo'd key",
+            ),
+            (
+                &GOLDEN.replace("\"cus\": 2", "\"cuss\": 2"),
+                "typo'd gpu key",
+            ),
+            (
+                &GOLDEN.replace("\"replications\": 2", "\"replications\": 0"),
+                "zero replications",
+            ),
+            (
+                &GOLDEN.replace("[0.65, 0.6]", "[65, 60]"),
+                "vdds out of range",
+            ),
+            (&GOLDEN.replace("\"fft\"", "\"sort\""), "unknown workload"),
+            (
+                &GOLDEN.replace("\"killi\"", "\"frobnicate\""),
+                "unknown scheme",
+            ),
+            (
+                &GOLDEN.replace("\"ratio\": 16", "\"ratio\": \"lots\""),
+                "ill-typed param",
+            ),
+        ] {
+            assert!(
+                parse_job_spec(body.as_bytes()).is_err(),
+                "{what} should be rejected"
+            );
+        }
+        // Invalid UTF-8 bodies too.
+        assert!(parse_job_spec(&[0x7b, 0xff, 0xfe, 0x7d]).is_err());
+    }
+}

@@ -11,7 +11,9 @@
 //! - [`workloads`] — synthetic GPGPU trace generators,
 //! - [`model`] — analytic coverage, area and power models,
 //! - [`obs`] — typed event/metrics observability layer,
-//! - [`mod@bench`] — experiment runner and Monte-Carlo sweep engine.
+//! - [`mod@bench`] — experiment runner and Monte-Carlo sweep engine,
+//! - [`serve`] — the sweep engine as an HTTP service (job queue, worker
+//!   pool, content-addressed result cache).
 //!
 //! # Quickstart
 //!
@@ -31,5 +33,6 @@ pub use killi_ecc as ecc;
 pub use killi_fault as fault;
 pub use killi_model as model;
 pub use killi_obs as obs;
+pub use killi_serve as serve;
 pub use killi_sim as sim;
 pub use killi_workloads as workloads;

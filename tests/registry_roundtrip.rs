@@ -172,6 +172,92 @@ fn malformed_inputs_are_parse_errors() {
 }
 
 #[test]
+fn canonicalization_is_spelling_invariant() {
+    // The cache-key property the service leans on: any spelling of the
+    // same scheme — shorthand, JSON, reordered overrides, defaults
+    // spelled explicitly — must canonicalize to byte-identical JSON.
+    let registry = default_registry();
+    killi_check::check("registry_canonicalization", |g| {
+        let names = registry.names();
+        let name = *g.pick(&names);
+        let descriptor = registry.descriptor(name).expect("listed name resolves");
+
+        // A random subset of the declared params with fresh values of
+        // the declared type.
+        let mut overrides: Vec<(&str, ParamValue)> = Vec::new();
+        for spec in &descriptor.params {
+            if !g.bool() {
+                continue;
+            }
+            let value = match spec.default {
+                ParamValue::U64(_) => ParamValue::U64(g.u64_below(64) + 1),
+                ParamValue::Bool(_) => ParamValue::Bool(g.bool()),
+                ParamValue::F64(_) => ParamValue::F64(g.f64_in(0.0, 4.0)),
+                ParamValue::Str(_) => ParamValue::Str(format!("s{}", g.u64_below(8))),
+            };
+            overrides.push((spec.name, value));
+        }
+
+        // Spelling 1: programmatic, declaration order.
+        let mut forward = SchemeConfig::new(name);
+        for (k, v) in &overrides {
+            forward = forward.with(k, v.clone());
+        }
+        // Spelling 2: programmatic, reversed order.
+        let mut reversed = SchemeConfig::new(name);
+        for (k, v) in overrides.iter().rev() {
+            reversed = reversed.with(k, v.clone());
+        }
+        // Spelling 3: CLI shorthand (all generated values spell cleanly).
+        let shorthand_text = if overrides.is_empty() {
+            name.to_string()
+        } else {
+            format!(
+                "{name}:{}",
+                overrides
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        let shorthand = SchemeConfig::parse(&shorthand_text).expect("shorthand parses");
+        // Spelling 4: JSON round-trip of the forward spelling.
+        let json = SchemeConfig::from_json(&forward.to_json()).expect("JSON parses");
+        // Spelling 5: every remaining default spelled explicitly.
+        let mut explicit = forward.clone();
+        for spec in &descriptor.params {
+            if explicit.get(spec.name).is_none() {
+                explicit = explicit.with(spec.name, spec.default.clone());
+            }
+        }
+
+        let canon = registry.canonical_json(&forward).expect("canonicalizes");
+        for (label, spelling) in [
+            ("reversed", &reversed),
+            ("shorthand", &shorthand),
+            ("json", &json),
+            ("explicit-defaults", &explicit),
+        ] {
+            assert_eq!(
+                registry.canonical_json(spelling).expect("canonicalizes"),
+                canon,
+                "{label} spelling of {shorthand_text} diverged"
+            );
+        }
+
+        // And the canonical form is a fixed point that still resolves
+        // to the same report label.
+        let canonical = registry.canonicalize(&forward).expect("canonicalizes");
+        assert_eq!(registry.canonicalize(&canonical).unwrap(), canonical);
+        assert_eq!(
+            registry.label(&canonical).unwrap(),
+            registry.label(&forward).unwrap()
+        );
+    });
+}
+
+#[test]
 fn every_registered_scheme_builds_from_its_default_config() {
     let registry = default_registry();
     let ctx = ctx();
