@@ -8,8 +8,9 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use killi::scheme::{KilliConfig, KilliScheme};
+use killi_bench::fault_models::{build_fault_model, stuck_at};
 use killi_bench::timing::bench;
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::cell_model::{FreqGhz, NormVdd};
 use killi_fault::map::FaultMap;
 use killi_sim::cache::{CacheGeometry, L2Cache};
 use killi_sim::mem::MainMemory;
@@ -24,28 +25,16 @@ fn geometry() -> CacheGeometry {
 }
 
 fn bench_fault_map() {
-    let model = CellFailureModel::finfet14();
+    let model = build_fault_model(&stuck_at()).expect("stuck-at always builds");
     bench("fault_map/build_4096_lines", || {
-        FaultMap::build(
-            4096,
-            black_box(&model),
-            NormVdd::LV_0_625,
-            FreqGhz::PEAK,
-            42,
-        )
+        black_box(&model).map(4096, NormVdd::LV_0_625, FreqGhz::PEAK, 42)
     });
 }
 
 fn bench_l2_paths() {
     let geom = geometry();
-    let model = CellFailureModel::finfet14();
-    let map = Arc::new(FaultMap::build(
-        geom.lines(),
-        &model,
-        NormVdd::LV_0_625,
-        FreqGhz::PEAK,
-        1,
-    ));
+    let model = build_fault_model(&stuck_at()).expect("stuck-at always builds");
+    let map = Arc::new(model.map(geom.lines(), NormVdd::LV_0_625, FreqGhz::PEAK, 1));
 
     {
         let mut l2 = L2Cache::new(

@@ -36,6 +36,7 @@ fn small_matrix_config() -> MatrixConfig {
         ops_per_cu: 5_000,
         seed: 42,
         vdd: NormVdd::LV_0_625,
+        fault_model: killi_bench::fault_models::stuck_at(),
         gpu: small_gpu(),
         threads: 2,
     }
@@ -45,7 +46,7 @@ fn bench_analytic_experiments() {
     bench("experiments/fig1_cell_curves", || {
         black_box(experiments::fig1())
     });
-    let model = killi_fault::cell_model::CellFailureModel::finfet14();
+    let model = killi_bench::fault_models::stuck_at_cell_model();
     bench("experiments/fig6_coverage_analytic", || {
         black_box(killi_model::coverage::coverage_at(
             &model,

@@ -13,10 +13,10 @@ use std::sync::Arc;
 
 use killi::scheme::{KilliConfig, KilliScheme};
 use killi_bench::exec::{par_map, Progress};
+use killi_bench::fault_models::{build_fault_model, stuck_at};
 use killi_bench::report::{emit, Table};
 use killi_bench::sweep::Accumulator;
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
-use killi_fault::map::FaultMap;
+use killi_fault::cell_model::{FreqGhz, NormVdd};
 use killi_fault::rng::derive_seed;
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_workloads::{TraceParams, Workload};
@@ -25,7 +25,7 @@ const WORKLOADS: [Workload; 3] = [Workload::Xsbench, Workload::Fft, Workload::Ha
 
 fn main() {
     let config = GpuConfig::default();
-    let model = CellFailureModel::finfet14();
+    let fault_model = build_fault_model(&stuck_at()).expect("stuck-at always builds");
     let ops = killi_bench::ops_from_env();
     let root_seed = 42u64;
     let replications = std::env::var("KILLI_REPLICATIONS")
@@ -43,13 +43,11 @@ fn main() {
         .collect();
     let progress = Progress::new("dvfs", jobs.len(), 3);
     let runs: Vec<(u64, u64)> = par_map(threads, &jobs, Some(&progress), |_, &(w, rep)| {
-        let map = Arc::new(FaultMap::build_replicate(
+        let map = Arc::new(fault_model.map(
             config.l2.lines(),
-            &model,
             NormVdd::LV_0_625,
             FreqGhz::PEAK,
-            root_seed,
-            rep,
+            derive_seed(root_seed, "die", &[rep]),
         ));
         let killi = KilliScheme::new(
             KilliConfig::with_ratio(64),

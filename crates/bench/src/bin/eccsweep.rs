@@ -9,23 +9,18 @@ use std::sync::Arc;
 
 use killi::ecc_cache::EccCacheConfig;
 use killi::scheme::{KilliConfig, KilliScheme};
+use killi_bench::fault_models::{build_fault_model, stuck_at};
 use killi_bench::report::{emit, Table};
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::cell_model::{FreqGhz, NormVdd};
 use killi_fault::map::FaultMap;
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_workloads::{TraceParams, Workload};
 
 fn main() {
     let config = GpuConfig::default();
-    let model = CellFailureModel::finfet14();
+    let fault_model = build_fault_model(&stuck_at()).expect("stuck-at always builds");
     let ops = killi_bench::ops_from_env();
-    let map = Arc::new(FaultMap::build(
-        config.l2.lines(),
-        &model,
-        NormVdd::LV_0_625,
-        FreqGhz::PEAK,
-        42,
-    ));
+    let map = Arc::new(fault_model.map(config.l2.lines(), NormVdd::LV_0_625, FreqGhz::PEAK, 42));
     let params = TraceParams {
         cus: config.cus,
         ops_per_cu: ops,

@@ -11,9 +11,9 @@ use std::sync::Arc;
 
 use killi::scheme::{KilliConfig, KilliScheme};
 use killi_baselines::per_line::PerLineEcc;
+use killi_bench::fault_models::{build_fault_model, stuck_at};
 use killi_bench::report::{emit, Table};
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
-use killi_fault::map::FaultMap;
+use killi_fault::cell_model::{FreqGhz, NormVdd};
 use killi_sim::cache::WritePolicy;
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_sim::protection::LineProtection;
@@ -24,7 +24,7 @@ fn main() {
         write_policy: WritePolicy::WriteBack,
         ..GpuConfig::default()
     };
-    let model = CellFailureModel::finfet14();
+    let fault_model = build_fault_model(&stuck_at()).expect("stuck-at always builds");
     let ops = killi_bench::ops_from_env();
     let mut t = Table::new(vec![
         "workload",
@@ -34,13 +34,8 @@ fn main() {
         "SDC",
     ]);
     for w in [Workload::Fft, Workload::Lulesh] {
-        let map = Arc::new(FaultMap::build(
-            config.l2.lines(),
-            &model,
-            NormVdd::LV_0_625,
-            FreqGhz::PEAK,
-            42,
-        ));
+        let map =
+            Arc::new(fault_model.map(config.l2.lines(), NormVdd::LV_0_625, FreqGhz::PEAK, 42));
         let schemes: Vec<(&str, Box<dyn LineProtection>)> = vec![
             (
                 "killi (plain)",

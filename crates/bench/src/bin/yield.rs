@@ -10,16 +10,17 @@
 //! mean ± 95% CI over the replicates.
 
 use killi_bench::exec::{par_map, Progress};
+use killi_bench::fault_models::stuck_at_cell_model;
 use killi_bench::report::{emit, Table};
 use killi_bench::sweep::Accumulator;
-use killi_fault::cell_model::{CellFailureModel, NormVdd};
+use killi_fault::cell_model::NormVdd;
 use killi_model::vmin::yield_samples;
 
 const VDDS: [f64; 8] = [0.66, 0.65, 0.64, 0.625, 0.61, 0.60, 0.59, 0.575];
 const STRENGTHS: [u64; 3] = [1, 2, 11];
 
 fn main() {
-    let base = CellFailureModel::finfet14();
+    let base = stuck_at_cell_model();
     let die_sigma = 0.5;
     let dies = 200;
     let replications = 8;

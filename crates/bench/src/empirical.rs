@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn empirical_matches_analytic_ordering() {
-        let model = CellFailureModel::finfet14();
+        let model = crate::fault_models::stuck_at_cell_model();
         let vdd = NormVdd(0.575);
         let emp = measure(&model, vdd, 20_000, 7);
         // Killi beats its SECDED component, as the algebra demands.
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn empirical_close_to_analytic_at_operating_point() {
-        let model = CellFailureModel::finfet14();
+        let model = crate::fault_models::stuck_at_cell_model();
         let vdd = NormVdd(0.6);
         let emp = measure(&model, vdd, 30_000, 11);
         let ana = coverage_at(&model, vdd);
@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn perfect_at_nominal_voltage() {
-        let model = CellFailureModel::finfet14();
+        let model = crate::fault_models::stuck_at_cell_model();
         let emp = measure(&model, NormVdd::NOMINAL, 2_000, 3);
         assert_eq!(emp.killi, 1.0);
         assert_eq!(emp.secded, 1.0);
@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let model = CellFailureModel::finfet14();
+        let model = crate::fault_models::stuck_at_cell_model();
         let a = measure(&model, NormVdd(0.58), 5_000, 9);
         let b = measure(&model, NormVdd(0.58), 5_000, 9);
         assert_eq!(a, b);

@@ -1,21 +1,21 @@
 //! One function per figure/table of the paper. Each returns the rendered
 //! report so binaries and `repro` can compose them.
 
-use killi_fault::cell_model::{CellFailureModel, FailureKind, FreqGhz, NormVdd};
+use killi_fault::cell_model::{FailureKind, FreqGhz, NormVdd};
 use killi_fault::line_stats::LineFaultDistribution;
-use killi_fault::map::FaultMap;
 use killi_model::area::{checkbits, AreaModel};
 use killi_model::coverage::coverage_at;
 use killi_model::power::{PowerModel, SchemePower};
 use killi_workloads::Workload;
 
+use crate::fault_models::{build_fault_model, stuck_at, stuck_at_cell_model};
 use crate::report::{pct, Table};
 use crate::runner::{baseline_of, run_matrix, MatrixConfig, RunResult};
 use crate::schemes::{KilliAblation, SchemeSpec};
 
 /// Figure 1: SRAM cell failure probability vs normalized VDD at 1 GHz.
 pub fn fig1() -> String {
-    let model = CellFailureModel::finfet14();
+    let model = stuck_at_cell_model();
     let mut t = Table::new(vec![
         "vdd",
         "p_read_disturb",
@@ -57,7 +57,8 @@ pub fn fig1() -> String {
 /// Figure 2: fraction of 64B lines with 0 / 1 / >= 2 failures vs VDD,
 /// analytic and sampled from an actual fault map.
 pub fn fig2(seed: u64) -> String {
-    let model = CellFailureModel::finfet14();
+    let model = stuck_at_cell_model();
+    let fault_model = build_fault_model(&stuck_at()).expect("stuck-at always builds");
     let mut t = Table::new(vec![
         "vdd",
         "zero",
@@ -70,7 +71,7 @@ pub fn fig2(seed: u64) -> String {
     for v in [0.70, 0.675, 0.65, 0.625, 0.60, 0.575, 0.55] {
         let vdd = NormVdd(v);
         let ana = LineFaultDistribution::at(&model, vdd, FreqGhz::PEAK);
-        let map = FaultMap::build(32768, &model, vdd, FreqGhz::PEAK, seed);
+        let map = fault_model.map(32768, vdd, FreqGhz::PEAK, seed);
         let meas = LineFaultDistribution::measured(&map);
         t.row(vec![
             format!("{v:.3}"),
@@ -176,7 +177,7 @@ pub fn fig5(results: &[RunResult]) -> String {
 /// cross-validated by Monte-Carlo runs of the *actual* codecs and Table 2
 /// classifier (columns suffixed `(mc)`).
 pub fn fig6() -> String {
-    let model = CellFailureModel::finfet14();
+    let model = stuck_at_cell_model();
     let mut t = Table::new(vec![
         "vdd",
         "parity16",
@@ -312,7 +313,7 @@ pub fn table6(results: &[RunResult]) -> String {
 /// Table 7: Killi-with-OLSC storage vs MS-ECC at matched capacity for
 /// lower-Vmin operation.
 pub fn table7() -> String {
-    let model = CellFailureModel::finfet14();
+    let model = stuck_at_cell_model();
     let m = AreaModel::paper();
     let mut t = Table::new(vec![
         "vdd",
@@ -388,7 +389,7 @@ pub fn lowvmin(base_config: &MatrixConfig) -> String {
          (paper: same capacity and performance at 17% / 65% of the area)\n\n",
     );
     for (vdd, ratio) in [(0.600, 8usize), (0.575, 2)] {
-        let mut config = *base_config;
+        let mut config = base_config.clone();
         config.vdd = NormVdd(vdd);
         let results = run_matrix(
             &[Workload::Xsbench, Workload::Pennant],

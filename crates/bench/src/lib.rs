@@ -7,6 +7,8 @@
 //!   per (vdd, scheme, workload) cell, JSON reports),
 //! - [`exec`] — the shared work-stealing thread pool + progress counters,
 //! - [`experiments`] — one function per paper figure/table,
+//! - [`fault_models`] — the fault-model axis: registry re-exports and the
+//!   `stuck-at` helpers every experiment shares,
 //! - [`empirical`] — Monte-Carlo validation of the §5.3 coverage algebra,
 //! - [`report`] — text-table rendering,
 //! - [`timing`] — the in-repo micro-benchmark harness for `benches/`,
@@ -20,6 +22,7 @@
 pub mod empirical;
 pub mod exec;
 pub mod experiments;
+pub mod fault_models;
 pub mod perf;
 pub mod report;
 pub mod runner;

@@ -5,12 +5,12 @@
 //! actually uses:
 //!
 //! - `fault_map_build` — producing one die's fault maps for the whole
-//!   voltage grid: dense per-cell construction at every operating point
-//!   vs one sparse [`DieFaultTable`] hashed at the lowest voltage and
-//!   filtered per point.
+//!   voltage grid: the `stuck-at` model's dense reference construction at
+//!   every operating point vs its [`killi_fault::model::ReplicateDie`]
+//!   hashed once at the lowest voltage and filtered per point.
 //! - `single_simulation` — one (workload, scheme, vdd) cell: per-job
 //!   dense map build + trace regeneration vs deriving the map from a
-//!   prebuilt die table and replaying a shared op buffer.
+//!   prebuilt die and replaying a shared op buffer.
 //! - `full_sweep` — the end-to-end Monte-Carlo sweep:
 //!   [`run_sweep_reference`] vs [`run_sweep`] on the same configuration
 //!   (both produce byte-identical reports; only the wall clock differs).
@@ -23,13 +23,13 @@
 
 use std::sync::Arc;
 
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
-use killi_fault::map::{DieFaultTable, FaultMap};
+use killi_fault::cell_model::{FreqGhz, NormVdd};
 use killi_sim::cache::CacheGeometry;
 use killi_sim::gpu::GpuConfig;
 use killi_sim::trace::Trace;
 use killi_workloads::Workload;
 
+use crate::fault_models::{build_fault_model, stuck_at};
 use crate::report::Table;
 use crate::runner::{run_cell, run_cell_traced, ObsConfig};
 use crate::schemes::SchemeSpec;
@@ -128,6 +128,7 @@ fn bench_sweep_config(quick: bool) -> SweepConfig {
             replications: 2,
             vdds: vec![0.65, 0.625],
             schemes: vec![SchemeSpec::Killi(64).config()],
+            fault_model: stuck_at(),
             workloads: vec![Workload::Fft],
             ops_per_cu: 1500,
             gpu: GpuConfig {
@@ -149,6 +150,7 @@ fn bench_sweep_config(quick: bool) -> SweepConfig {
             replications: 8,
             vdds: vec![0.65, 0.625, 0.6],
             schemes: vec![SchemeSpec::Killi(64).config()],
+            fault_model: stuck_at(),
             workloads: vec![Workload::Xsbench, Workload::Hacc],
             ops_per_cu: 5_000,
             gpu: GpuConfig::default(),
@@ -166,7 +168,7 @@ fn bench_sweep_config(quick: bool) -> SweepConfig {
 pub fn run_perf_suite(quick: bool) -> PerfReport {
     let config = bench_sweep_config(quick);
     let samples = if quick { 1 } else { 3 };
-    let model = CellFailureModel::finfet14();
+    let fault_model = build_fault_model(&stuck_at()).expect("stuck-at always builds");
     let lines = config.gpu.l2.lines();
     let seed = config.root_seed;
     let cap_vdd = NormVdd(config.vdds.iter().cloned().fold(f64::INFINITY, f64::min));
@@ -175,14 +177,14 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
     // 1. One die's fault maps across the voltage grid.
     let before_ns = measure(samples, || {
         grid.iter()
-            .map(|&v| FaultMap::build_dense(lines, &model, v, FreqGhz::PEAK, seed))
+            .map(|&v| fault_model.map_reference(lines, v, FreqGhz::PEAK, seed))
             .collect::<Vec<_>>()
     });
     let after_ns = measure(samples, || {
-        let table = DieFaultTable::build(lines, &model, cap_vdd, FreqGhz::PEAK, seed);
-        grid.iter()
-            .map(|&v| table.fault_map_at(&model, v))
-            .collect::<Vec<_>>()
+        let die = fault_model
+            .die(lines, cap_vdd, FreqGhz::PEAK, seed)
+            .expect("stuck-at factorizes across the grid");
+        grid.iter().map(|&v| die.map_at(v)).collect::<Vec<_>>()
     });
     let fault_map_build = PerfBenchmark {
         name: BENCHMARK_NAMES[0],
@@ -203,13 +205,7 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
         l2_bytes: config.gpu.l2.size_bytes,
     };
     let before_ns = measure(samples, || {
-        let map = Arc::new(FaultMap::build_dense(
-            lines,
-            &model,
-            vdd,
-            FreqGhz::PEAK,
-            seed,
-        ));
+        let map = Arc::new(fault_model.map_reference(lines, vdd, FreqGhz::PEAK, seed));
         run_cell(
             workload,
             scheme,
@@ -220,10 +216,12 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
             &obs,
         )
     });
-    let table = DieFaultTable::build(lines, &model, cap_vdd, FreqGhz::PEAK, seed);
+    let die = fault_model
+        .die(lines, cap_vdd, FreqGhz::PEAK, seed)
+        .expect("stuck-at factorizes across the grid");
     let ops = Arc::new(workload.ops(&params));
     let after_ns = measure(samples, || {
-        let map = Arc::new(table.fault_map_at(&model, vdd));
+        let map = Arc::new(die.map_at(vdd));
         run_cell_traced(
             workload,
             scheme,

@@ -3,17 +3,18 @@
 
 use std::sync::Arc;
 
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::cell_model::{FreqGhz, NormVdd};
 use killi_fault::map::FaultMap;
 use killi_obs::{escape_json, Counter, MetricSet, Sink};
 use killi_sim::gpu::{GpuConfig, GpuSim};
 use killi_sim::stats::SimStats;
 use killi_workloads::{TraceParams, Workload};
 
+use crate::fault_models::{build_fault_model, FaultModelConfig};
 use crate::schemes::{build_scheme, scheme_label, BuildCtx, SchemeConfig};
 
 /// Matrix configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MatrixConfig {
     /// Operations per CU stream.
     pub ops_per_cu: usize,
@@ -21,6 +22,8 @@ pub struct MatrixConfig {
     pub seed: u64,
     /// Low-voltage operating point for the protected schemes.
     pub vdd: NormVdd,
+    /// Fault model drawn for the protected schemes' map.
+    pub fault_model: FaultModelConfig,
     /// GPU hardware configuration.
     pub gpu: GpuConfig,
     /// Worker threads.
@@ -34,6 +37,7 @@ impl MatrixConfig {
             ops_per_cu,
             seed,
             vdd: NormVdd::LV_0_625,
+            fault_model: FaultModelConfig::default(),
             gpu: GpuConfig::default(),
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -192,14 +196,8 @@ pub fn run_matrix(
     config: &MatrixConfig,
 ) -> Vec<RunResult> {
     let lines = config.gpu.l2.lines();
-    let model = CellFailureModel::finfet14();
-    let lv_map = Arc::new(FaultMap::build(
-        lines,
-        &model,
-        config.vdd,
-        FreqGhz::PEAK,
-        config.seed,
-    ));
+    let fault_model = build_fault_model(&config.fault_model).unwrap_or_else(|e| panic!("{e}"));
+    let lv_map = Arc::new(fault_model.map(lines, config.vdd, FreqGhz::PEAK, config.seed));
     let free_map = Arc::new(FaultMap::fault_free(lines));
 
     let baseline = SchemeConfig::new("baseline");
@@ -258,6 +256,7 @@ mod tests {
                 mem_latency: 100,
                 ..GpuConfig::default()
             },
+            fault_model: crate::fault_models::stuck_at(),
             threads: 2,
         }
     }

@@ -21,8 +21,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
-use killi_fault::map::{DieFaultTable, FaultMap};
+use killi_fault::cell_model::{FreqGhz, NormVdd};
+use killi_fault::map::FaultMap;
+use killi_fault::model::ReplicateDie;
 use killi_fault::rng::derive_seed;
 use killi_sim::gpu::GpuConfig;
 use killi_sim::stats::SimStats;
@@ -32,11 +33,49 @@ use killi_workloads::{TraceParams, Workload};
 use killi_obs::MetricSet;
 
 use crate::exec::{par_map, Progress};
+use crate::fault_models::{
+    build_fault_model, default_fault_registry, fault_model_label, FaultModelBuildError,
+    FaultModelConfig, STUCK_AT,
+};
 use crate::report::Table;
 use crate::runner::{run_cell, run_cell_traced, ObsConfig};
 use crate::schemes::{
     build_scheme, default_registry, scheme_label, BuildCtx, BuildError, SchemeConfig, SchemeSpec,
 };
+
+/// Why a [`SweepConfig`] failed validation: either the scheme axis or the
+/// fault-model axis rejected its config. Both sides carry the typed error
+/// of their own registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepConfigError {
+    /// A protection-scheme config failed to resolve or build.
+    Scheme(BuildError),
+    /// The fault-model config failed to resolve or build.
+    FaultModel(FaultModelBuildError),
+}
+
+impl std::fmt::Display for SweepConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepConfigError::Scheme(e) => write!(f, "{e}"),
+            SweepConfigError::FaultModel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepConfigError {}
+
+impl From<BuildError> for SweepConfigError {
+    fn from(e: BuildError) -> Self {
+        SweepConfigError::Scheme(e)
+    }
+}
+
+impl From<FaultModelBuildError> for SweepConfigError {
+    fn from(e: FaultModelBuildError) -> Self {
+        SweepConfigError::FaultModel(e)
+    }
+}
 
 /// Streaming mean/variance accumulator (Welford's algorithm): numerically
 /// stable and single-pass, so aggregation never materializes sample
@@ -153,6 +192,10 @@ pub struct SweepConfig {
     /// Declarative protection-scheme configs under test (resolved and
     /// built through the scheme registry; baselines run implicitly).
     pub schemes: Vec<SchemeConfig>,
+    /// Declarative fault-model config every protected cell draws its maps
+    /// from (resolved through the fault-model registry; the default is
+    /// the paper's `stuck-at` model).
+    pub fault_model: FaultModelConfig,
     /// Workloads.
     pub workloads: Vec<Workload>,
     /// Operations per CU stream.
@@ -176,6 +219,7 @@ impl SweepConfig {
             replications,
             vdds: vec![0.65, 0.625, 0.6],
             schemes: vec![SchemeSpec::Killi(64).config()],
+            fault_model: FaultModelConfig::default(),
             workloads: vec![Workload::Xsbench, Workload::Hacc],
             ops_per_cu,
             gpu: GpuConfig::default(),
@@ -194,9 +238,11 @@ impl SweepConfig {
     }
 
     /// Validates every scheme config against the registry *and* the
-    /// sweep's cache geometry (via a fault-free test build), so a bad
-    /// `--scheme` fails before the fan-out phase instead of mid-run.
-    pub fn validate(&self) -> Result<(), BuildError> {
+    /// sweep's cache geometry (via a fault-free test build), plus the
+    /// fault-model config against its registry (via a test build), so a
+    /// bad `--scheme` or `--fault-model` fails before the fan-out phase
+    /// instead of mid-run.
+    pub fn validate(&self) -> Result<(), SweepConfigError> {
         let ctx = BuildCtx::new(
             Arc::new(FaultMap::fault_free(self.gpu.l2.lines())),
             self.gpu.l2,
@@ -204,20 +250,23 @@ impl SweepConfig {
         for scheme in &self.schemes {
             build_scheme(scheme, &ctx)?;
         }
+        build_fault_model(&self.fault_model)?;
         Ok(())
     }
 
     /// Consumes the config into a [`ValidatedSweepConfig`]: validates it
     /// (including the geometry test-builds of [`SweepConfig::validate`])
-    /// and canonicalizes every scheme spelling against the default
-    /// registry, so downstream consumers — the sweep service's cache in
-    /// particular — can key on [`ValidatedSweepConfig::canonical_json`].
-    pub fn validated(mut self) -> Result<ValidatedSweepConfig, BuildError> {
+    /// and canonicalizes every scheme and fault-model spelling against
+    /// the default registries, so downstream consumers — the sweep
+    /// service's cache in particular — can key on
+    /// [`ValidatedSweepConfig::canonical_json`].
+    pub fn validated(mut self) -> Result<ValidatedSweepConfig, SweepConfigError> {
         self.validate()?;
         let registry = default_registry();
         for scheme in &mut self.schemes {
             *scheme = registry.canonicalize(scheme)?;
         }
+        self.fault_model = default_fault_registry().canonicalize(&self.fault_model)?;
         // A sweep always runs at least one replicate (`run_sweep` clamps),
         // so spell the clamp here too: replications 0 and 1 are the same
         // sweep and must share a cache key.
@@ -255,9 +304,10 @@ impl ValidatedSweepConfig {
     /// bytes (schema `killi-sweep-config/v1`). Execution knobs —
     /// `threads`, `progress_every`, `trace_capacity` — are excluded:
     /// the report is byte-identical across them (regression-tested), so
-    /// configs differing only there must share a cache key. Schemes are
-    /// already canonical, so any spelling of the same sweep serializes
-    /// to identical bytes.
+    /// configs differing only there must share a cache key. Schemes and
+    /// the fault model are already canonical, so any spelling of the
+    /// same sweep serializes to identical bytes — and different fault
+    /// models never share a key.
     pub fn canonical_json(&self) -> String {
         let c = &self.config;
         let mut out = String::from("{\"schema\":\"killi-sweep-config/v1\"");
@@ -273,6 +323,7 @@ impl ValidatedSweepConfig {
             ",\"schemes\":[{}]",
             list(c.schemes.iter().map(SchemeConfig::to_json).collect())
         ));
+        out.push_str(&format!(",\"fault_model\":{}", c.fault_model.to_json()));
         out.push_str(&format!(
             ",\"workloads\":[{}]",
             list(c.workloads.iter().map(|w| json_str(w.name())).collect())
@@ -354,6 +405,8 @@ pub struct SweepReport {
     pub ops_per_cu: usize,
     /// The voltage grid.
     pub vdds: Vec<f64>,
+    /// The fault model's registry label (`stuck-at` for the default).
+    pub fault_model: String,
     /// Scheme labels.
     pub schemes: Vec<String>,
     /// Workload names.
@@ -398,10 +451,12 @@ enum ArtifactMode {
     PerJob,
 }
 
-/// Runs the sweep with shared artifacts: one sparse [`DieFaultTable`] per
-/// replicate (hashed once at the grid's lowest voltage) derives the fault
-/// map of every (voltage, replicate) pair, and each (workload, replicate)
-/// op buffer is generated once and replayed by every scheme cell. The
+/// Runs the sweep with shared artifacts: one memoized
+/// [`killi_fault::model::ReplicateDie`] per replicate (hashed once at the
+/// grid's lowest voltage, when the fault model offers the factorization)
+/// derives the fault map of every (voltage, replicate) pair, and each
+/// (workload, replicate) op buffer is generated once and replayed by
+/// every scheme cell. The
 /// report and optional event trace are byte-identical to
 /// [`run_sweep_reference`] at any thread count (regression-tested).
 pub fn run_sweep(config: &SweepConfig) -> SweepReport {
@@ -419,17 +474,19 @@ pub fn run_sweep_reference(config: &SweepConfig) -> SweepReport {
 fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
     let started = Instant::now();
     let lines = config.gpu.l2.lines();
-    let model = CellFailureModel::finfet14();
     let reps = config.replications.max(1);
-    // Registry-formatted labels, resolved once up front. Callers should
-    // run `SweepConfig::validate` first; an unknown scheme here is a
-    // programming error.
+    // Registry-formatted labels and the live fault model, resolved once
+    // up front. Callers should run `SweepConfig::validate` first; an
+    // unknown scheme or fault model here is a programming error.
+    let fault_model = build_fault_model(&config.fault_model).unwrap_or_else(|e| panic!("{e}"));
+    let fm_label = fault_model_label(&config.fault_model).unwrap_or_else(|e| panic!("{e}"));
     let labels: Vec<String> = config
         .schemes
         .iter()
         .map(|s| scheme_label(s).unwrap_or_else(|e| panic!("{e}")))
         .collect();
     let baseline_scheme = SchemeConfig::new("baseline");
+    let die_seed = |rep: usize| derive_seed(config.root_seed, "die", &[rep as u64]);
 
     let trace_seed = |w: usize, rep: usize| {
         // Key traces by the workload's stable identity, not its position
@@ -459,24 +516,27 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
             let maps = if config.vdds.is_empty() {
                 Vec::new()
             } else {
+                // Models that factorize across the voltage grid (e.g.
+                // stuck-at's sparse DieFaultTable) expose a per-replicate
+                // die hashed once at the grid's lowest voltage; the rest
+                // fall back to one direct map build per (vdd, replicate).
                 let cap_vdd = config.vdds.iter().cloned().fold(f64::INFINITY, f64::min);
                 let rep_keys: Vec<usize> = (0..reps).collect();
-                let tables: Vec<Arc<DieFaultTable>> =
+                let dies: Vec<Option<Arc<dyn ReplicateDie>>> =
                     par_map(config.threads, &rep_keys, None, |_, &rep| {
-                        Arc::new(DieFaultTable::build_replicate(
-                            lines,
-                            &model,
-                            NormVdd(cap_vdd),
-                            FreqGhz::PEAK,
-                            config.root_seed,
-                            rep as u64,
-                        ))
+                        fault_model
+                            .die(lines, NormVdd(cap_vdd), FreqGhz::PEAK, die_seed(rep))
+                            .map(Arc::from)
                     });
                 let map_keys: Vec<(usize, usize)> = (0..config.vdds.len())
                     .flat_map(|v| (0..reps).map(move |rep| (v, rep)))
                     .collect();
                 par_map(config.threads, &map_keys, None, |_, &(v, rep)| {
-                    Arc::new(tables[rep].fault_map_at(&model, NormVdd(config.vdds[v])))
+                    let vdd = NormVdd(config.vdds[v]);
+                    Arc::new(match &dies[rep] {
+                        Some(die) => die.map_at(vdd),
+                        None => fault_model.map(lines, vdd, FreqGhz::PEAK, die_seed(rep)),
+                    })
                 })
             };
             let trace_keys: Vec<(usize, usize)> = (0..config.workloads.len())
@@ -516,9 +576,15 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
             Job::Cell { v, s, w, rep } => (w, rep, &config.schemes[s], config.vdds[v]),
         };
         let workload = config.workloads[w];
+        let mut context = vec![("vdd", format!("{vdd:?}")), ("rep", rep.to_string())];
+        if fm_label != STUCK_AT {
+            // The default model stays silent so pre-existing golden
+            // traces keep their bytes; anything else announces itself.
+            context.push(("fault_model", fm_label.clone()));
+        }
         let obs = ObsConfig {
             trace_capacity: config.trace_capacity,
-            context: vec![("vdd", format!("{vdd:?}")), ("rep", rep.to_string())],
+            context,
         };
         match mode {
             ArtifactMode::Shared => {
@@ -539,12 +605,11 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
             ArtifactMode::PerJob => {
                 let map = match job {
                     Job::Baseline { .. } => Arc::new(FaultMap::fault_free(lines)),
-                    Job::Cell { v, .. } => Arc::new(FaultMap::build_dense(
+                    Job::Cell { v, .. } => Arc::new(fault_model.map_reference(
                         lines,
-                        &model,
                         NormVdd(config.vdds[v]),
                         FreqGhz::PEAK,
-                        derive_seed(config.root_seed, "die", &[rep as u64]),
+                        die_seed(rep),
                     )),
                 };
                 run_cell(
@@ -625,6 +690,7 @@ fn run_sweep_mode(config: &SweepConfig, mode: ArtifactMode) -> SweepReport {
         replications: reps,
         ops_per_cu: config.ops_per_cu,
         vdds: config.vdds.clone(),
+        fault_model: fm_label,
         schemes: labels,
         workloads: config.workloads.iter().map(|w| w.name()).collect(),
         cells,
@@ -670,6 +736,15 @@ impl SweepReport {
         out.push_str(&format!("  \"root_seed\": {},\n", self.root_seed));
         out.push_str(&format!("  \"replications\": {},\n", self.replications));
         out.push_str(&format!("  \"ops_per_cu\": {},\n", self.ops_per_cu));
+        if self.fault_model != STUCK_AT {
+            // Gated so pre-fault-model-axis golden reports keep their
+            // bytes: the default model is implied, anything else is
+            // spelled out.
+            out.push_str(&format!(
+                "  \"fault_model\": {},\n",
+                json_str(&self.fault_model)
+            ));
+        }
         let list = |items: Vec<String>| items.join(", ");
         out.push_str(&format!(
             "  \"vdds\": [{}],\n",
@@ -784,6 +859,7 @@ mod tests {
             replications: 2,
             vdds: vec![0.625, 0.6],
             schemes: vec![SchemeSpec::Killi(16).config()],
+            fault_model: FaultModelConfig::default(),
             workloads: vec![Workload::Fft, Workload::Hacc],
             ops_per_cu: 1500,
             gpu: GpuConfig {
@@ -809,8 +885,22 @@ mod tests {
         assert!(config.validate().is_ok());
         config.schemes.push(SchemeConfig::new("no-such-scheme"));
         match config.validate() {
-            Err(BuildError::UnknownScheme { name }) => assert_eq!(name, "no-such-scheme"),
+            Err(SweepConfigError::Scheme(BuildError::UnknownScheme { name })) => {
+                assert_eq!(name, "no-such-scheme")
+            }
             other => panic!("expected UnknownScheme, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_fault_models_upfront() {
+        let mut config = tiny_sweep();
+        config.fault_model = FaultModelConfig::new("no-such-model");
+        match config.validate() {
+            Err(SweepConfigError::FaultModel(FaultModelBuildError::UnknownModel { name })) => {
+                assert_eq!(name, "no-such-model")
+            }
+            other => panic!("expected UnknownModel, got {other:?}"),
         }
     }
 
@@ -902,7 +992,19 @@ mod tests {
             ..config.clone()
         };
         assert_eq!(respelled.validated().unwrap().canonical_json(), canon);
-        // Anything report-shaping diverges.
+        // A different fault-model spelling of the same model agrees.
+        let fm_respelled = SweepConfig {
+            fault_model: FaultModelConfig::parse("stuck-at").unwrap(),
+            ..config.clone()
+        };
+        assert_eq!(fm_respelled.validated().unwrap().canonical_json(), canon);
+        // Anything report-shaping diverges — a different fault model in
+        // particular, so the serve cache never conflates models.
+        let remodeled = SweepConfig {
+            fault_model: FaultModelConfig::parse("clustered:rows=8").unwrap(),
+            ..config.clone()
+        };
+        assert_ne!(remodeled.validated().unwrap().canonical_json(), canon);
         let reseeded = SweepConfig {
             root_seed: 8,
             ..config
@@ -911,12 +1013,35 @@ mod tests {
     }
 
     #[test]
+    fn non_default_fault_model_runs_and_labels_the_report() {
+        let config = SweepConfig {
+            replications: 1,
+            vdds: vec![0.625],
+            workloads: vec![Workload::Fft],
+            fault_model: FaultModelConfig::parse("transient:rate=0.001").unwrap(),
+            ..tiny_sweep()
+        };
+        let report = run_sweep(&config);
+        assert_eq!(report.fault_model, "transient:mode=random,rate=0.001");
+        assert!(report.to_json().contains("\"fault_model\""));
+        // The default model stays out of the JSON (golden-report pin).
+        let default_report = run_sweep(&SweepConfig {
+            replications: 1,
+            vdds: vec![0.625],
+            workloads: vec![Workload::Fft],
+            ..tiny_sweep()
+        });
+        assert_eq!(default_report.fault_model, STUCK_AT);
+        assert!(!default_report.to_json().contains("\"fault_model\""));
+    }
+
+    #[test]
     fn validated_rejects_what_validate_rejects() {
         let mut config = tiny_sweep();
         config.schemes.push(SchemeConfig::new("no-such-scheme"));
         assert!(matches!(
             config.validated(),
-            Err(BuildError::UnknownScheme { .. })
+            Err(SweepConfigError::Scheme(BuildError::UnknownScheme { .. }))
         ));
     }
 

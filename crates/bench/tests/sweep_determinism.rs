@@ -16,6 +16,7 @@ fn tiny(threads: usize) -> SweepConfig {
         replications: 2,
         vdds: vec![0.625, 0.6],
         schemes: vec![SchemeSpec::Killi(16).config(), SchemeSpec::MsEcc.config()],
+        fault_model: killi_bench::fault_models::stuck_at(),
         workloads: vec![Workload::Xsbench, Workload::Fft],
         ops_per_cu: 2_000,
         gpu: GpuConfig {

@@ -1,21 +1,25 @@
 //! `killi` — command-line interface to the Killi low-voltage cache toolkit.
 //!
 //! ```text
-//! killi coverage  [--vdd 0.6]
+//! killi coverage  [--vdd 0.6] [--fault-model stuck-at]
 //! killi area      [--ratio 64] [--code secded|dected|tecqed|6ec7ed]
 //! killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
+//!                 [--fault-model clustered:rows=4,corr=0.8]
 //! killi schemes   [--build-check]
+//! killi fault-models [--build-check]
 //! killi simulate  [--workload xsbench] [--scheme killi] [--ratio 64]
 //!                 [--vdd 0.625] [--ops 100000] [--seed 42]
+//!                 [--fault-model stuck-at]
 //! killi sweep     [--replications 8] [--threads 4] [--vdds 0.65,0.625,0.6]
 //!                 [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
-//!                 [--scheme-file FILE.json]
+//!                 [--scheme-file FILE.json] [--fault-model stuck-at]
 //!                 [--ops 10000] [--seed 42] [--l2kb 512] [--out FILE.json]
 //!                 [--trace FILE.jsonl] [--trace-capacity 4096]
 //! killi bench     [--quick] [--out results/BENCH_perf.json]
 //!                 | --check FILE.json
 //! killi record    --out trace.ktrc [--workload fft] [--ops 100000]
 //! killi replay    --in trace.ktrc [--scheme killi] [--vdd 0.625]
+//!                 [--fault-model stuck-at]
 //! killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
 //! killi stats     --in results/BENCH_sweep.json
 //! killi trace     [--workload fft] [--scheme killi] [--capacity 4096]
@@ -34,6 +38,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use args::{ArgError, Args};
+use killi_bench::fault_models::{
+    build_fault_model, default_fault_registry, fault_model_label, FaultModelBuildError,
+    FaultModelConfig, STUCK_AT,
+};
 use killi_bench::perf::{run_perf_suite, BENCHMARK_NAMES};
 use killi_bench::report::Table;
 use killi_bench::runner::{baseline_of, run_cell, run_matrix, MatrixConfig, ObsConfig};
@@ -41,7 +49,7 @@ use killi_bench::schemes::{
     build_scheme, default_registry, scheme_label, BuildCtx, ParamValue, SchemeConfig,
 };
 use killi_bench::sweep::{run_sweep, SweepConfig};
-use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_fault::cell_model::{FreqGhz, NormVdd};
 use killi_fault::line_stats::LineFaultDistribution;
 use killi_fault::map::FaultMap;
 use killi_model::area::{checkbits, AreaModel};
@@ -55,18 +63,26 @@ const USAGE: &str = "\
 killi-cli — low-voltage cache toolkit (reproduction of HPCA'19 'Killi')
 
 USAGE:
-  killi coverage  [--vdd 0.6]
+  killi coverage  [--vdd 0.6] [--fault-model stuck-at]
   killi area      [--ratio 64] [--code secded|dected|tecqed|6ec7ed]
   killi faultmap  [--vdd 0.625] [--lines 32768] [--seed 42]
+                  [--fault-model clustered:rows=4,corr=0.8]
   killi schemes   [--build-check]
                   Lists every registered protection scheme with its
                   parameters and defaults; --build-check also builds each
                   from its defaults (CI smoke).
+  killi fault-models [--build-check]
+                  Lists every registered fault model (stuck-at, clustered,
+                  transient, table) with its parameters, defaults and
+                  voltage-nesting contract; --build-check also builds each
+                  from its defaults and round-trips it through the service
+                  job payload (CI smoke).
   killi simulate  [--workload xsbench] [--scheme killi|dected|flair|ms-ecc]
                   [--ratio 64] [--vdd 0.625] [--ops 100000] [--seed 42]
+                  [--fault-model stuck-at]
   killi sweep     [--replications 8] [--threads N] [--vdds 0.65,0.625,0.6]
                   [--workloads xsbench,hacc] [--schemes killi] [--ratio 64]
-                  [--scheme-file FILE.json]
+                  [--scheme-file FILE.json] [--fault-model stuck-at]
                   [--ops 10000] [--seed 42] [--l2kb 512] [--progress 10]
                   [--out results/BENCH_sweep.json]
                   [--trace FILE.jsonl] [--trace-capacity 4096]
@@ -75,6 +91,8 @@ USAGE:
                   --scheme entries accept registry shorthand, e.g.
                   killi:ratio=16,ecc_sets=64,ecc_ways=8; --scheme-file
                   reads a JSON list of {\"scheme\": ..., params} objects.
+                  --fault-model picks the map generator (see
+                  'killi fault-models'), e.g. transient:rate=0.001.
   killi bench     [--quick] [--out results/BENCH_perf.json]
                   Before/after performance suite for the sweep hot path
                   (fault-map build, single simulation, full sweep) as
@@ -85,6 +103,7 @@ USAGE:
                   expected benchmark entries).
   killi record    --out trace.ktrc [--workload fft] [--ops 100000] [--seed 42]
   killi replay    --in trace.ktrc  [--scheme killi] [--ratio 64] [--vdd 0.625]
+                  [--fault-model stuck-at]
   killi profile   [--workload fft | --in trace.ktrc] [--ops 100000]
   killi stats     --in results/BENCH_sweep.json
                   Per-scheme observability digest of a killi-sweep/v2
@@ -92,7 +111,7 @@ USAGE:
                   ECC-cache-induced miss split.
   killi trace     [--workload fft] [--scheme killi] [--ratio 64]
                   [--vdd 0.625] [--ops 20000] [--seed 42] [--capacity 4096]
-                  [--out FILE.jsonl]
+                  [--fault-model stuck-at] [--out FILE.jsonl]
                   Runs one traced simulation and emits the killi-obs/v1
                   JSON-lines event trace (stdout unless --out).
   killi trace     --check FILE.jsonl
@@ -131,6 +150,7 @@ const COMMANDS: &[(&str, Command)] = &[
     ("area", cmd_area),
     ("faultmap", cmd_faultmap),
     ("schemes", cmd_schemes),
+    ("fault-models", cmd_fault_models),
     ("simulate", cmd_simulate),
     ("sweep", cmd_sweep),
     ("bench", cmd_bench),
@@ -187,7 +207,14 @@ fn main() -> ExitCode {
 
 fn cmd_coverage(args: &Args) -> Result<(), ArgError> {
     let vdd = args.flag_f64("vdd", 0.6)?;
-    let model = CellFailureModel::finfet14();
+    let fault_model = parse_fault_model(&args.get_or("fault-model", "stuck-at"))?;
+    let built = build_fault_model(&fault_model).map_err(|e| io_msg(e.to_string()))?;
+    let model = built.cell_model().cloned().ok_or_else(|| {
+        io_msg(format!(
+            "fault model `{fault_model}` exposes no analytic cell-failure curve \
+             (coverage needs one)"
+        ))
+    })?;
     let c = coverage_at(&model, NormVdd(vdd));
     let mut t = Table::new(vec!["technique", "coverage"]);
     for (name, v) in [
@@ -240,12 +267,13 @@ fn cmd_faultmap(args: &Args) -> Result<(), ArgError> {
     let vdd = args.flag_f64("vdd", 0.625)?;
     let lines: usize = args.get_num("lines", 32768)?;
     let seed = args.flag_u64("seed", 42)?;
-    let model = CellFailureModel::finfet14();
-    let map = FaultMap::build(lines, &model, NormVdd(vdd), FreqGhz::PEAK, seed);
+    let fault_model = parse_fault_model(&args.get_or("fault-model", "stuck-at"))?;
+    let model = build_fault_model(&fault_model).map_err(|e| io_msg(e.to_string()))?;
+    let map = model.map(lines, NormVdd(vdd), FreqGhz::PEAK, seed);
     let measured = LineFaultDistribution::measured(&map);
     let hist = map.data_fault_histogram(13);
     println!(
-        "fault map: {lines} lines at {vdd} x VDD, seed {seed}\n\
+        "fault map ({fault_model}): {lines} lines at {vdd} x VDD, seed {seed}\n\
          zero faults: {:.2}%   one: {:.2}%   two-plus: {:.2}%",
         measured.zero * 100.0,
         measured.one * 100.0,
@@ -291,6 +319,110 @@ fn parse_scheme(input: &str, ratio: usize) -> Result<SchemeConfig, ArgError> {
     }
     registry.validate(&config).map_err(scheme_err)?;
     Ok(config)
+}
+
+/// Parses a `--fault-model` value through the fault-model registry.
+/// Accepts the plain name (`stuck-at`) and the parameterized shorthand
+/// (`clustered:rows=4,corr=0.8`).
+fn parse_fault_model(input: &str) -> Result<FaultModelConfig, ArgError> {
+    let registry = default_fault_registry();
+    let model_err = |e: FaultModelBuildError| {
+        ArgError::invalid(
+            "fault-model",
+            input,
+            format!("valid ({e}); registered: {}", registry.names().join(", ")),
+        )
+    };
+    let config = FaultModelConfig::parse(input).map_err(model_err)?;
+    registry.validate(&config).map_err(model_err)?;
+    Ok(config)
+}
+
+/// `killi fault-models`: lists every registered fault model with its
+/// parameters, defaults and voltage-nesting contract; `--build-check`
+/// additionally builds each model from its defaults, draws a small map,
+/// and round-trips it through the service job payload (the CI smoke that
+/// keeps the registry, the constructors and the service in sync).
+fn cmd_fault_models(args: &Args) -> Result<(), ArgError> {
+    let registry = default_fault_registry();
+    let io_err = |e: FaultModelBuildError| io_msg(e.to_string());
+    let mut t = Table::new(vec!["model", "default label", "nested", "description"]);
+    for d in registry.descriptors() {
+        let label = registry
+            .label(&FaultModelConfig::new(d.name))
+            .map_err(io_err)?;
+        t.row(vec![
+            d.name.to_string(),
+            label,
+            if d.voltage_nested { "yes" } else { "no" }.to_string(),
+            d.doc.to_string(),
+        ]);
+    }
+    println!(
+        "registered fault models (use --fault-model NAME or \
+         NAME:key=value,key=value; `nested` = faults at a higher voltage \
+         are a subset of faults at any lower voltage):\n{}",
+        t.render()
+    );
+    let with_params: Vec<_> = registry
+        .descriptors()
+        .iter()
+        .filter(|d| !d.params.is_empty())
+        .collect();
+    if !with_params.is_empty() {
+        println!("parameters:");
+        for d in with_params {
+            println!("  {}:", d.name);
+            for p in &d.params {
+                let default = p.default.to_string();
+                let default = if default.len() > 40 {
+                    format!("{}...", &default[..37])
+                } else {
+                    default
+                };
+                println!("    {} = {}  ({})", p.name, default, p.doc);
+            }
+        }
+    }
+    if args.has("build-check") {
+        for d in registry.descriptors() {
+            let config = FaultModelConfig::new(d.name);
+            let model = registry
+                .build(&config)
+                .map_err(|e| io_msg(format!("{}: {e}", d.name)))?;
+            let map = model.map(64, NormVdd(0.6), FreqGhz::PEAK, 1);
+            if map.lines() != 64 {
+                return Err(io_msg(format!(
+                    "{}: drew {} lines instead of 64",
+                    d.name,
+                    map.lines()
+                )));
+            }
+            if model.voltage_nested() != d.voltage_nested {
+                return Err(io_msg(format!(
+                    "{}: built model contradicts the descriptor's nesting contract",
+                    d.name
+                )));
+            }
+            // Every model must also round-trip through the service's
+            // job-payload path, so `killi serve` can sweep it.
+            let payload = format!(
+                "{{\"root_seed\":1,\"replications\":1,\"vdds\":[0.625],\
+                 \"schemes\":[\"killi\"],\"fault_model\":\"{}\",\
+                 \"workloads\":[\"fft\"],\"ops_per_cu\":100}}",
+                d.name
+            );
+            killi_serve::parse_job_spec(payload.as_bytes()).map_err(|e| {
+                io_msg(format!("{}: not submittable as a service job: {e}", d.name))
+            })?;
+        }
+        println!(
+            "build check: all {} registered fault models build from their \
+             defaults, draw maps, and validate as service job payloads",
+            registry.descriptors().len()
+        );
+    }
+    Ok(())
 }
 
 /// `killi schemes`: lists every registered scheme with its parameters and
@@ -368,6 +500,7 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
 
     let mut config = MatrixConfig::paper(ops, seed);
     config.vdd = NormVdd(vdd);
+    config.fault_model = parse_fault_model(&args.get_or("fault-model", "stuck-at"))?;
     let results = run_matrix(&[workload], &[scheme], &config);
     let base = baseline_of(&results, workload.name());
     let r = results
@@ -423,14 +556,9 @@ fn cmd_replay(args: &Args) -> Result<(), ArgError> {
         cus: trace.cus(),
         ..GpuConfig::default()
     };
-    let model = CellFailureModel::finfet14();
-    let map = Arc::new(FaultMap::build(
-        config.l2.lines(),
-        &model,
-        NormVdd(vdd),
-        FreqGhz::PEAK,
-        seed,
-    ));
+    let fault_model = parse_fault_model(&args.get_or("fault-model", "stuck-at"))?;
+    let model = build_fault_model(&fault_model).map_err(|e| io_msg(e.to_string()))?;
+    let map = Arc::new(model.map(config.l2.lines(), NormVdd(vdd), FreqGhz::PEAK, seed));
     let ctx = BuildCtx::new(Arc::clone(&map), config.l2);
     let protection = build_scheme(&scheme, &ctx).map_err(|e| ArgError::Io {
         message: e.to_string(),
@@ -531,6 +659,7 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
         replications,
         vdds,
         schemes,
+        fault_model: parse_fault_model(&args.get_or("fault-model", "stuck-at"))?,
         workloads,
         ops_per_cu: ops,
         gpu,
@@ -779,21 +908,23 @@ fn cmd_trace(args: &Args) -> Result<(), ArgError> {
     let out = args.get_or("out", "");
 
     let gpu = GpuConfig::default();
-    let model = CellFailureModel::finfet14();
+    let fault_model = parse_fault_model(&args.get_or("fault-model", "stuck-at"))?;
     let map = if scheme.is_baseline() {
         Arc::new(FaultMap::fault_free(gpu.l2.lines()))
     } else {
-        Arc::new(FaultMap::build(
-            gpu.l2.lines(),
-            &model,
-            NormVdd(vdd),
-            FreqGhz::PEAK,
-            seed,
-        ))
+        let model = build_fault_model(&fault_model).map_err(|e| io_msg(e.to_string()))?;
+        Arc::new(model.map(gpu.l2.lines(), NormVdd(vdd), FreqGhz::PEAK, seed))
     };
+    let mut context = vec![("vdd", format!("{vdd}"))];
+    // Mirror the sweep's gating: the default model stays silent so traces
+    // keep their pre-registry bytes; any other model stamps its label.
+    let fm_label = fault_model_label(&fault_model).map_err(|e| io_msg(e.to_string()))?;
+    if fm_label != STUCK_AT {
+        context.push(("fault_model", fm_label));
+    }
     let obs = ObsConfig {
         trace_capacity: Some(capacity),
-        context: vec![("vdd", format!("{vdd}"))],
+        context,
     };
     let r = run_cell(workload, &scheme, &gpu, ops, &map, seed, &obs);
     let trace = r.trace.expect("tracing was requested");

@@ -25,16 +25,14 @@
 //! ```
 //! use std::sync::Arc;
 //! use killi::scheme::{KilliConfig, KilliScheme};
-//! use killi_fault::map::FaultMap;
-//! use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+//! use killi_fault::model::{default_registry, FaultModelConfig};
+//! use killi_fault::cell_model::{FreqGhz, NormVdd};
 //! use killi_sim::gpu::{GpuConfig, GpuSim};
 //! use killi_sim::trace::{Trace, TraceOp};
 //!
 //! let config = GpuConfig::small_test();
-//! let model = CellFailureModel::finfet14();
-//! let map = Arc::new(FaultMap::build(
-//!     config.l2.lines(), &model, NormVdd::LV_0_625, FreqGhz::PEAK, 1,
-//! ));
+//! let model = default_registry().build(&FaultModelConfig::default()).unwrap();
+//! let map = Arc::new(model.map(config.l2.lines(), NormVdd::LV_0_625, FreqGhz::PEAK, 1));
 //! let killi = KilliScheme::new(
 //!     KilliConfig::with_ratio(16), Arc::clone(&map),
 //!     config.l2.lines(), config.l2.ways,

@@ -59,72 +59,9 @@ impl BuildCtx {
     }
 }
 
-/// A typed scheme parameter value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ParamValue {
-    /// Unsigned integer (counts, ratios, latencies).
-    U64(u64),
-    /// Floating point.
-    F64(f64),
-    /// Boolean switch.
-    Bool(bool),
-    /// Free-form string.
-    Str(String),
-}
-
-impl fmt::Display for ParamValue {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ParamValue::U64(v) => write!(f, "{v}"),
-            ParamValue::F64(v) => write!(f, "{v:?}"),
-            ParamValue::Bool(v) => write!(f, "{v}"),
-            ParamValue::Str(v) => write!(f, "{v}"),
-        }
-    }
-}
-
-impl ParamValue {
-    /// JSON spelling of the value.
-    fn to_json(&self) -> String {
-        match self {
-            ParamValue::Str(s) => format!("\"{}\"", escape_json(s)),
-            other => other.to_string(),
-        }
-    }
-
-    /// A value from its CLI spelling: `true`/`false`, integer, float, else
-    /// a bare string.
-    fn parse(text: &str) -> ParamValue {
-        if text == "true" {
-            ParamValue::Bool(true)
-        } else if text == "false" {
-            ParamValue::Bool(false)
-        } else if let Ok(v) = text.parse::<u64>() {
-            ParamValue::U64(v)
-        } else if let Ok(v) = text.parse::<f64>() {
-            ParamValue::F64(v)
-        } else {
-            ParamValue::Str(text.to_string())
-        }
-    }
-
-    /// A value from its JSON spelling (integral non-negative numbers
-    /// become [`ParamValue::U64`]).
-    fn from_json(v: &JsonValue) -> Option<ParamValue> {
-        match v {
-            JsonValue::Bool(b) => Some(ParamValue::Bool(*b)),
-            JsonValue::Num(n) => {
-                if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 {
-                    Some(ParamValue::U64(*n as u64))
-                } else {
-                    Some(ParamValue::F64(*n))
-                }
-            }
-            JsonValue::Str(s) => Some(ParamValue::Str(s.clone())),
-            _ => None,
-        }
-    }
-}
+/// The typed parameter value shared with the fault-model registry; see
+/// [`killi_obs::params`].
+pub use killi_obs::params::ParamValue;
 
 /// A declarative scheme instantiation: a registered name plus parameter
 /// overrides (unset parameters take the descriptor's defaults).
@@ -528,15 +465,16 @@ impl SchemeRegistry {
             let value = match config.get(spec.name) {
                 None => spec.default.clone(),
                 Some(over) => {
-                    coerce(over, &spec.default).ok_or_else(|| BuildError::InvalidParam {
-                        scheme: config.name.clone(),
-                        param: spec.name.to_string(),
-                        reason: format!(
-                            "expected {} (default {}), got `{over}`",
-                            type_name(&spec.default),
-                            spec.default
-                        ),
-                    })?
+                    over.coerce_to(&spec.default)
+                        .ok_or_else(|| BuildError::InvalidParam {
+                            scheme: config.name.clone(),
+                            param: spec.name.to_string(),
+                            reason: format!(
+                                "expected {} (default {}), got `{over}`",
+                                spec.default.type_name(),
+                                spec.default
+                            ),
+                        })?
                 }
             };
             values.push((spec.name, value));
@@ -596,31 +534,6 @@ impl SchemeRegistry {
         let mut scheme = (descriptor.build)(&resolved, ctx)?;
         scheme.attach_sink(ctx.sink.clone());
         Ok(scheme)
-    }
-}
-
-/// Human name of a parameter value's type.
-fn type_name(v: &ParamValue) -> &'static str {
-    match v {
-        ParamValue::U64(_) => "an unsigned integer",
-        ParamValue::F64(_) => "a number",
-        ParamValue::Bool(_) => "a boolean",
-        ParamValue::Str(_) => "a string",
-    }
-}
-
-/// Coerces an override to the type of a default, when sensible.
-fn coerce(over: &ParamValue, default: &ParamValue) -> Option<ParamValue> {
-    match (over, default) {
-        (ParamValue::U64(v), ParamValue::U64(_)) => Some(ParamValue::U64(*v)),
-        (ParamValue::F64(v), ParamValue::U64(_)) if v.fract() == 0.0 && *v >= 0.0 => {
-            Some(ParamValue::U64(*v as u64))
-        }
-        (ParamValue::F64(v), ParamValue::F64(_)) => Some(ParamValue::F64(*v)),
-        (ParamValue::U64(v), ParamValue::F64(_)) => Some(ParamValue::F64(*v as f64)),
-        (ParamValue::Bool(v), ParamValue::Bool(_)) => Some(ParamValue::Bool(*v)),
-        (ParamValue::Str(v), ParamValue::Str(_)) => Some(ParamValue::Str(v.clone())),
-        _ => None,
     }
 }
 

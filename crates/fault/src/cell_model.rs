@@ -130,6 +130,11 @@ impl CellFailureModel {
         self.sigma
     }
 
+    /// The `(voltage, log10 median p)` anchors of the calibration curve.
+    pub fn anchors(&self) -> &[(f64, f64)] {
+        &self.anchors
+    }
+
     /// The *median* per-line cell failure probability at an operating
     /// point. Monotone: non-increasing in voltage, non-decreasing in
     /// frequency.

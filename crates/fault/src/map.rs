@@ -63,15 +63,73 @@ pub struct FaultMap {
     seed: u64,
 }
 
+/// Which construction [`FaultMap::generate`] uses. Both are bit-identical
+/// by property test; the dense path exists as the independently-written
+/// oracle the optimized path is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Construction {
+    /// Hoists the per-line hash base and the operating-point median out of
+    /// the inner loop and compares hashes against an exact integer
+    /// threshold ([`unit_threshold`]) instead of converting every draw to
+    /// `f64`. The production path.
+    #[default]
+    Optimized,
+    /// One [`hash3`] and one float comparison per cell, exactly as
+    /// originally specified.
+    DenseReference,
+}
+
+/// Options for [`FaultMap::generate`]: the operating point, the die seed,
+/// and which construction to run.
+#[derive(Debug, Clone, Copy)]
+pub struct MapOptions {
+    /// Supply voltage of the map.
+    pub vdd: NormVdd,
+    /// Clock frequency of the map.
+    pub freq: FreqGhz,
+    /// Die seed. Monte-Carlo callers derive it as
+    /// `derive_seed(root, "die", &[replicate])` so the same replicate sees
+    /// the same physical die at every voltage of a sweep grid.
+    pub seed: u64,
+    /// Construction to run (defaults to [`Construction::Optimized`]).
+    pub construction: Construction,
+}
+
+impl MapOptions {
+    /// Options for the optimized construction at an operating point.
+    pub fn new(vdd: NormVdd, freq: FreqGhz, seed: u64) -> Self {
+        MapOptions {
+            vdd,
+            freq,
+            seed,
+            construction: Construction::Optimized,
+        }
+    }
+
+    /// Switches to the dense reference construction.
+    #[must_use]
+    pub fn dense(mut self) -> Self {
+        self.construction = Construction::DenseReference;
+        self
+    }
+}
+
 impl FaultMap {
-    /// Builds the fault map for `lines` physical lines at the given
-    /// operating point.
-    ///
-    /// Equivalent to [`Self::build_dense`] bit for bit, but hoists the
-    /// per-line hash base and the operating-point median out of the inner
-    /// loop and compares hashes against an exact integer threshold
-    /// ([`unit_threshold`]) instead of converting every draw to `f64`.
-    pub fn build(
+    /// Builds the fault map for `lines` physical lines with the given
+    /// options — the one seeded constructor behind every fault model.
+    pub fn generate(lines: usize, model: &CellFailureModel, opts: MapOptions) -> Self {
+        match opts.construction {
+            Construction::Optimized => {
+                Self::generate_optimized(lines, model, opts.vdd, opts.freq, opts.seed)
+            }
+            Construction::DenseReference => {
+                Self::generate_dense(lines, model, opts.vdd, opts.freq, opts.seed)
+            }
+        }
+    }
+
+    /// The optimized construction (see [`Construction::Optimized`]).
+    fn generate_optimized(
         lines: usize,
         model: &CellFailureModel,
         vdd: NormVdd,
@@ -114,11 +172,24 @@ impl FaultMap {
         }
     }
 
-    /// The dense reference construction: one [`hash3`] and one float
-    /// comparison per cell, exactly as originally specified. The optimized
-    /// [`Self::build`] and the sparse [`DieFaultTable`] derivation are
-    /// property-tested to reproduce this map bit for bit.
+    /// Shim for the perf_equivalence oracle, which needs the dense path
+    /// by name. Everything else goes through [`Self::generate`].
+    #[doc(hidden)]
     pub fn build_dense(
+        lines: usize,
+        model: &CellFailureModel,
+        vdd: NormVdd,
+        freq: FreqGhz,
+        seed: u64,
+    ) -> Self {
+        Self::generate(lines, model, MapOptions::new(vdd, freq, seed).dense())
+    }
+
+    /// The dense reference construction (see
+    /// [`Construction::DenseReference`]). The optimized construction and
+    /// the sparse [`DieFaultTable`] derivation are property-tested to
+    /// reproduce this map bit for bit.
+    fn generate_dense(
         lines: usize,
         model: &CellFailureModel,
         vdd: NormVdd,
@@ -154,21 +225,25 @@ impl FaultMap {
         }
     }
 
-    /// Builds the fault map for one Monte-Carlo replicate: the die seed
-    /// is derived from `(root_seed, "die", replicate)` via
-    /// [`crate::rng::derive_seed`]. The same replicate therefore sees the
-    /// same physical die at every voltage of a sweep grid, preserving the
-    /// monotone nesting of fault populations across operating points.
-    pub fn build_replicate(
-        lines: usize,
-        model: &CellFailureModel,
+    /// A map assembled from precomputed parts — the seam fault models that
+    /// post-process another model's output (e.g. transient overlays) use
+    /// to keep the derived statistics coherent.
+    pub(crate) fn from_parts(
+        faults: Vec<Box<[CellFault]>>,
+        p_cell_median: f64,
+        mean_p_line: f64,
         vdd: NormVdd,
         freq: FreqGhz,
-        root_seed: u64,
-        replicate: u64,
+        seed: u64,
     ) -> Self {
-        let die_seed = crate::rng::derive_seed(root_seed, "die", &[replicate]);
-        Self::build(lines, model, vdd, freq, die_seed)
+        FaultMap {
+            faults,
+            p_cell_median,
+            mean_p_line,
+            vdd,
+            freq,
+            seed,
+        }
     }
 
     /// A map with an explicit fault population (targeted fault-injection
@@ -331,7 +406,7 @@ impl FaultMap {
 }
 
 /// Sparse per-die fault memo: the cross-voltage factorization of
-/// [`FaultMap::build`].
+/// [`FaultMap::generate`].
 ///
 /// Cell hashes depend only on `(seed, line, cell)` — voltage enters solely
 /// through the per-line probability threshold — so all maps of one die over
@@ -399,20 +474,6 @@ impl DieFaultTable {
         }
     }
 
-    /// Builds the table for one Monte-Carlo replicate, deriving the die
-    /// seed exactly as [`FaultMap::build_replicate`] does.
-    pub fn build_replicate(
-        lines: usize,
-        model: &CellFailureModel,
-        cap_vdd: NormVdd,
-        freq: FreqGhz,
-        root_seed: u64,
-        replicate: u64,
-    ) -> Self {
-        let die_seed = crate::rng::derive_seed(root_seed, "die", &[replicate]);
-        Self::build(lines, model, cap_vdd, freq, die_seed)
-    }
-
     /// Number of physical lines covered.
     pub fn lines(&self) -> usize {
         self.candidates.len()
@@ -424,8 +485,8 @@ impl DieFaultTable {
     }
 
     /// Derives the fault map of this die at `vdd`, bit-identical to
-    /// `FaultMap::build(lines, model, vdd, freq, seed)` with the table's
-    /// frequency and seed.
+    /// `FaultMap::generate(lines, model, MapOptions::new(vdd, freq, seed))`
+    /// with the table's frequency and seed.
     ///
     /// # Panics
     ///
@@ -475,7 +536,7 @@ impl DieFaultTable {
 /// Converts 64 uniform bits to a standard-normal deviate via the inverse
 /// CDF (Acklam's rational approximation; far more accuracy than the fault
 /// model needs).
-fn standard_normal(h: u64) -> f64 {
+pub(crate) fn standard_normal(h: u64) -> f64 {
     let u = crate::rng::to_unit(h).clamp(1e-12, 1.0 - 1e-12);
     // Coefficients of Acklam's approximation.
     const A: [f64; 6] = [
@@ -532,6 +593,17 @@ mod tests {
         CellFailureModel::finfet14()
     }
 
+    /// Optimized-construction shorthand for the tests below.
+    fn build(lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap {
+        FaultMap::generate(lines, &model(), MapOptions::new(vdd, freq, seed))
+    }
+
+    /// Replicate shorthand: derives the die seed the way the sweep does.
+    fn build_replicate(lines: usize, vdd: NormVdd, root_seed: u64, replicate: u64) -> FaultMap {
+        let die_seed = crate::rng::derive_seed(root_seed, "die", &[replicate]);
+        build(lines, vdd, FreqGhz::PEAK, die_seed)
+    }
+
     #[test]
     fn fault_free_map_is_empty() {
         let m = FaultMap::fault_free(64);
@@ -544,9 +616,9 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = FaultMap::build(128, &model(), NormVdd(0.575), FreqGhz::PEAK, 7);
-        let b = FaultMap::build(128, &model(), NormVdd(0.575), FreqGhz::PEAK, 7);
-        let c = FaultMap::build(128, &model(), NormVdd(0.575), FreqGhz::PEAK, 8);
+        let a = build(128, NormVdd(0.575), FreqGhz::PEAK, 7);
+        let b = build(128, NormVdd(0.575), FreqGhz::PEAK, 7);
+        let c = build(128, NormVdd(0.575), FreqGhz::PEAK, 8);
         for l in 0..128 {
             assert_eq!(a.line(l), b.line(l));
         }
@@ -557,8 +629,8 @@ mod tests {
 
     #[test]
     fn voltage_monotone_inclusion() {
-        let hi = FaultMap::build(256, &model(), NormVdd(0.625), FreqGhz::PEAK, 42);
-        let lo = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz::PEAK, 42);
+        let hi = build(256, NormVdd(0.625), FreqGhz::PEAK, 42);
+        let lo = build(256, NormVdd(0.575), FreqGhz::PEAK, 42);
         for l in 0..256 {
             for f in hi.line(l) {
                 assert!(
@@ -574,9 +646,9 @@ mod tests {
 
     #[test]
     fn replicate_maps_are_deterministic_and_nested_across_voltage() {
-        let a = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 3);
-        let b = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 3);
-        let other = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 4);
+        let a = build_replicate(64, NormVdd(0.6), 42, 3);
+        let b = build_replicate(64, NormVdd(0.6), 42, 3);
+        let other = build_replicate(64, NormVdd(0.6), 42, 4);
         for l in 0..64 {
             assert_eq!(a.line(l), b.line(l));
         }
@@ -586,7 +658,7 @@ mod tests {
         );
         // Same replicate across the voltage grid = same die: monotone
         // nesting must hold exactly as for a shared raw seed.
-        let lo = FaultMap::build_replicate(64, &model(), NormVdd(0.55), FreqGhz::PEAK, 42, 3);
+        let lo = build_replicate(64, NormVdd(0.55), 42, 3);
         for l in 0..64 {
             for f in a.line(l) {
                 assert!(lo.line(l).contains(f));
@@ -596,8 +668,8 @@ mod tests {
 
     #[test]
     fn frequency_monotone_inclusion() {
-        let slow = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz(0.4), 42);
-        let fast = FaultMap::build(256, &model(), NormVdd(0.575), FreqGhz(1.0), 42);
+        let slow = build(256, NormVdd(0.575), FreqGhz(0.4), 42);
+        let fast = build(256, NormVdd(0.575), FreqGhz(1.0), 42);
         for l in 0..256 {
             for f in slow.line(l) {
                 assert!(fast.line(l).contains(f));
@@ -608,7 +680,7 @@ mod tests {
     #[test]
     fn fault_rate_tracks_realized_line_rates() {
         let lines = 2000;
-        let m = FaultMap::build(lines, &model(), NormVdd(0.575), FreqGhz::PEAK, 1);
+        let m = build(lines, NormVdd(0.575), FreqGhz::PEAK, 1);
         let total: usize = (0..lines).map(|l| m.line(l).len()).sum();
         let expected = m.mean_p_line() * lines as f64 * f64::from(layout::CELLS_PER_LINE);
         let ratio = total as f64 / expected;
@@ -619,7 +691,7 @@ mod tests {
 
     #[test]
     fn corrupt_data_sets_stuck_values() {
-        let m = FaultMap::build(512, &model(), NormVdd(0.55), FreqGhz::PEAK, 3);
+        let m = build(512, NormVdd(0.55), FreqGhz::PEAK, 3);
         // Find a line with at least one data fault.
         let line = (0..512)
             .find(|&l| m.data_fault_count(l) > 0)
@@ -639,7 +711,7 @@ mod tests {
 
     #[test]
     fn masked_fault_leaves_data_intact() {
-        let m = FaultMap::build(2048, &model(), NormVdd(0.625), FreqGhz::PEAK, 5);
+        let m = build(2048, NormVdd(0.625), FreqGhz::PEAK, 5);
         // A write whose bit already equals the stuck value is masked.
         let line = (0..2048)
             .find(|&l| m.data_fault_count(l) == 1)
@@ -654,7 +726,7 @@ mod tests {
 
     #[test]
     fn parity_and_checkbit_corruption_respects_layout() {
-        let m = FaultMap::build(4096, &model(), NormVdd(0.5), FreqGhz::PEAK, 11);
+        let m = build(4096, NormVdd(0.5), FreqGhz::PEAK, 11);
         let line = (0..4096)
             .find(|&l| m.count_in(l, layout::PARITY16) > 0)
             .expect("a parity-cell fault at 0.5 VDD");
@@ -669,14 +741,14 @@ mod tests {
 
     #[test]
     fn histogram_sums_to_line_count() {
-        let m = FaultMap::build(1000, &model(), NormVdd(0.6), FreqGhz::PEAK, 2);
+        let m = build(1000, NormVdd(0.6), FreqGhz::PEAK, 2);
         let hist = m.data_fault_histogram(4);
         assert_eq!(hist.iter().sum::<usize>(), 1000);
     }
 
     #[test]
     fn nominal_voltage_has_no_faults() {
-        let m = FaultMap::build(500, &model(), NormVdd::NOMINAL, FreqGhz::PEAK, 9);
+        let m = build(500, NormVdd::NOMINAL, FreqGhz::PEAK, 9);
         let total: usize = (0..500).map(|l| m.line(l).len()).sum();
         assert_eq!(total, 0);
     }
@@ -703,7 +775,7 @@ mod tests {
         for seed in [0, 7, 42, 0xDEAD_BEEF] {
             for v in [0.5, 0.55, 0.575, 0.6, 0.625, 0.675, 1.0] {
                 for f in [0.4, 1.0] {
-                    let fast = FaultMap::build(96, &model(), NormVdd(v), FreqGhz(f), seed);
+                    let fast = build(96, NormVdd(v), FreqGhz(f), seed);
                     let dense = FaultMap::build_dense(96, &model(), NormVdd(v), FreqGhz(f), seed);
                     assert_maps_identical(&fast, &dense);
                 }
@@ -724,10 +796,10 @@ mod tests {
 
     #[test]
     fn die_table_replicate_matches_build_replicate() {
-        let table =
-            DieFaultTable::build_replicate(64, &model(), NormVdd(0.575), FreqGhz::PEAK, 42, 3);
+        let die_seed = crate::rng::derive_seed(42, "die", &[3]);
+        let table = DieFaultTable::build(64, &model(), NormVdd(0.575), FreqGhz::PEAK, die_seed);
         let derived = table.fault_map_at(&model(), NormVdd(0.6));
-        let direct = FaultMap::build_replicate(64, &model(), NormVdd(0.6), FreqGhz::PEAK, 42, 3);
+        let direct = build_replicate(64, NormVdd(0.6), 42, 3);
         assert_maps_identical(&derived, &direct);
     }
 

@@ -1,0 +1,1388 @@
+//! Data-driven fault models: declarative [`FaultModelConfig`]s resolved
+//! against a [`FaultModelRegistry`] of [`FaultModelDescriptor`]s.
+//!
+//! The registry is the fault-side twin of the protection-side
+//! `SchemeRegistry`: the single place fault-model names, parameters and
+//! defaults live. Everything that used to hard-code the one parametric
+//! stuck-at model (`CellFailureModel::finfet14` + `FaultMap::build`) goes
+//! through [`FaultModelRegistry::build`], so a new fault distribution —
+//! row/column clustering, transient overlays, measured CDFs — is one
+//! descriptor, zero new plumbing.
+//!
+//! Configs have three interchangeable spellings:
+//!
+//! - CLI shorthand: `clustered:rows=4,corr=0.8` ([`FaultModelConfig::parse`])
+//! - JSON (via the in-repo `killi-obs` parser):
+//!   `{"name": "clustered", "params": {"rows": 4, "corr": 0.8}}`
+//! - programmatic: [`FaultModelConfig::new`] + [`FaultModelConfig::with`]
+//!
+//! A built model is a [`FaultModel`]: a *pure function* from
+//! `(lines, vdd, freq, die_seed)` to a [`FaultMap`]. Determinism is part
+//! of the trait contract; voltage nesting (faults at a higher voltage are
+//! a subset of faults at any lower voltage — the property the Vmin search
+//! relies on) is part of the contract *unless* the model explicitly
+//! declares otherwise via [`FaultModel::voltage_nested`], as the
+//! `transient` model does.
+//!
+//! Registered models:
+//!
+//! | name       | distribution                                            | nested |
+//! |------------|---------------------------------------------------------|--------|
+//! | `stuck-at` | the paper's 14nm FinFET lognormal-mixture stuck-at model | yes |
+//! | `clustered`| MoRS-style row/column-correlated stuck-at faults         | yes |
+//! | `transient`| random/burst/MSB-biased flips over a stuck-at base       | no  |
+//! | `table`    | stuck-at drawn from a measured CDF (inline or from file) | yes |
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use killi_obs::params::ParamValue;
+use killi_obs::{escape_json, parse_json, JsonValue};
+
+use crate::cell_model::{CellFailureModel, FailureKind, FreqGhz, NormVdd};
+use crate::map::{layout, standard_normal, CellFault, DieFaultTable, FaultMap, MapOptions};
+use crate::rng::{hash3, hash3_base, hash3_with_base, splitmix64, to_unit, unit_threshold};
+
+/// A deterministic fault-population generator.
+///
+/// Implementations must be pure: the same `(lines, vdd, freq, seed)`
+/// always yields the same map, across thread counts and job orders. The
+/// `seed` is the *die* seed — Monte-Carlo callers derive it as
+/// `derive_seed(root_seed, "die", &[replicate])`, so one replicate is one
+/// physical die across every operating point of a sweep grid.
+pub trait FaultModel: fmt::Debug + Send + Sync {
+    /// The fault map of one die at one operating point.
+    fn map(&self, lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap;
+
+    /// The independently-written reference construction, used by the
+    /// perf-equivalence oracle. Must equal [`Self::map`] bit for bit;
+    /// defaults to it for models without a separate reference path.
+    fn map_reference(&self, lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap {
+        self.map(lines, vdd, freq, seed)
+    }
+
+    /// A memoized per-die table covering every voltage `>= cap_vdd`, for
+    /// sweep engines that derive many maps of one die. Models without a
+    /// cross-voltage factorization return `None` and the engine falls
+    /// back to [`Self::map`] per operating point.
+    fn die(
+        &self,
+        lines: usize,
+        cap_vdd: NormVdd,
+        freq: FreqGhz,
+        seed: u64,
+    ) -> Option<Box<dyn ReplicateDie>> {
+        let _ = (lines, cap_vdd, freq, seed);
+        None
+    }
+
+    /// Whether fault sets are nested across voltage: every fault at a
+    /// higher voltage also present at any lower voltage. Models that
+    /// violate this (transient overlays redrawn per operating point) must
+    /// return `false`; the Vmin search is only meaningful when `true`.
+    fn voltage_nested(&self) -> bool;
+
+    /// The per-cell failure-probability curve behind the model, when it
+    /// has one (analytic coverage/Vmin tooling needs it).
+    fn cell_model(&self) -> Option<&CellFailureModel> {
+        None
+    }
+}
+
+/// One die of a [`FaultModel`], memoized at the grid's cap voltage.
+pub trait ReplicateDie: Send + Sync {
+    /// The die's fault map at `vdd` (which must be `>=` the cap).
+    fn map_at(&self, vdd: NormVdd) -> FaultMap;
+}
+
+/// A declarative fault-model instantiation: a registered name plus
+/// parameter overrides (unset parameters take the descriptor's defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModelConfig {
+    /// Registered model name.
+    pub name: String,
+    /// Parameter overrides, in declaration order.
+    pub params: Vec<(String, ParamValue)>,
+}
+
+impl Default for FaultModelConfig {
+    /// The paper's model: `stuck-at` with no overrides.
+    fn default() -> Self {
+        FaultModelConfig::new(STUCK_AT)
+    }
+}
+
+impl FaultModelConfig {
+    /// A config with no overrides.
+    pub fn new(name: &str) -> Self {
+        FaultModelConfig {
+            name: name.to_string(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a parameter override.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: ParamValue) -> Self {
+        if let Some(slot) = self.params.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.params.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// The override for `key`, if set.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Parses the CLI shorthand `name` or `name:key=value,key=value`.
+    pub fn parse(input: &str) -> Result<Self, BuildError> {
+        let input = input.trim();
+        let (name, rest) = match input.split_once(':') {
+            Some((name, rest)) => (name.trim(), Some(rest)),
+            None => (input, None),
+        };
+        if name.is_empty() {
+            return Err(BuildError::Parse {
+                input: input.to_string(),
+                reason: "empty fault-model name".to_string(),
+            });
+        }
+        let mut config = FaultModelConfig::new(name);
+        if let Some(rest) = rest {
+            for pair in rest.split(',') {
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(BuildError::Parse {
+                        input: input.to_string(),
+                        reason: format!("parameter `{pair}` is not key=value"),
+                    });
+                };
+                let key = key.trim();
+                if key.is_empty() {
+                    return Err(BuildError::Parse {
+                        input: input.to_string(),
+                        reason: "empty parameter name".to_string(),
+                    });
+                }
+                config = config.with(key, ParamValue::parse(value.trim()));
+            }
+        }
+        Ok(config)
+    }
+
+    /// Serializes as a JSON object: `{"name": ..., "params": {...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"name\": \"{}\"", escape_json(&self.name));
+        if !self.params.is_empty() {
+            out.push_str(", \"params\": {");
+            for (i, (key, value)) in self.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", escape_json(key), value.to_json()));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// A config from a parsed JSON object.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, BuildError> {
+        let parse_err = |reason: &str| BuildError::Parse {
+            input: "<json>".to_string(),
+            reason: reason.to_string(),
+        };
+        let Some(name) = v.get("name").and_then(JsonValue::as_str) else {
+            return Err(parse_err("fault-model object needs a string `name`"));
+        };
+        let mut config = FaultModelConfig::new(name);
+        match v.get("params") {
+            None | Some(JsonValue::Null) => {}
+            Some(JsonValue::Object(entries)) => {
+                for (key, value) in entries {
+                    let Some(value) = ParamValue::from_json(value) else {
+                        return Err(parse_err(&format!(
+                            "parameter `{key}` must be a number, bool or string"
+                        )));
+                    };
+                    config = config.with(key, value);
+                }
+            }
+            Some(_) => return Err(parse_err("`params` must be an object")),
+        }
+        Ok(config)
+    }
+
+    /// A config from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, BuildError> {
+        let v = parse_json(text).map_err(|e| BuildError::Parse {
+            input: "<json>".to_string(),
+            reason: e.to_string(),
+        })?;
+        Self::from_json_value(&v)
+    }
+}
+
+impl fmt::Display for FaultModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (key, value)) in self.params.iter().enumerate() {
+            write!(f, "{}{key}={value}", if i == 0 { ":" } else { "," })?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultModelConfig`] could not be resolved or built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The config text (CLI shorthand or JSON) did not parse.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// No descriptor registered under this name.
+    UnknownModel {
+        /// The unregistered name.
+        name: String,
+    },
+    /// The model has no such parameter.
+    UnknownParam {
+        /// Model name.
+        model: String,
+        /// The unrecognized parameter.
+        param: String,
+    },
+    /// A parameter had the wrong type or an out-of-range value.
+    InvalidParam {
+        /// Model name.
+        model: String,
+        /// Parameter name.
+        param: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The parameters are individually fine but do not yield a buildable
+    /// model (e.g. a parameter file that cannot be read or parsed).
+    Model {
+        /// Model name.
+        model: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse { input, reason } => {
+                write!(f, "cannot parse fault model `{input}`: {reason}")
+            }
+            BuildError::UnknownModel { name } => write!(f, "unknown fault model `{name}`"),
+            BuildError::UnknownParam { model, param } => {
+                write!(f, "fault model `{model}` has no parameter `{param}`")
+            }
+            BuildError::InvalidParam {
+                model,
+                param,
+                reason,
+            } => write!(f, "invalid `{model}` parameter `{param}`: {reason}"),
+            BuildError::Model { model, reason } => {
+                write!(f, "cannot build fault model `{model}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// One declared parameter of a fault model.
+#[derive(Debug, Clone)]
+pub struct ParamSpec {
+    /// Parameter name (the `key` in `key=value`).
+    pub name: &'static str,
+    /// One-line description for `killi fault-models`.
+    pub doc: &'static str,
+    /// Default value (also fixes the expected type).
+    pub default: ParamValue,
+}
+
+/// Parameters of one config after defaulting and type coercion.
+#[derive(Debug, Clone)]
+pub struct ResolvedParams {
+    model: &'static str,
+    values: Vec<(&'static str, ParamValue)>,
+}
+
+impl ResolvedParams {
+    /// The model name these parameters resolve.
+    pub fn model(&self) -> &'static str {
+        self.model
+    }
+
+    fn get(&self, key: &str) -> &ParamValue {
+        self.values
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("fault model `{}` has no `{key}` parameter", self.model))
+    }
+
+    /// Replaces the value of a declared parameter (canonicalization hooks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter is not declared.
+    pub fn set(&mut self, key: &str, value: ParamValue) {
+        let slot = self
+            .values
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .unwrap_or_else(|| panic!("fault model `{}` has no `{key}` parameter", self.model));
+        slot.1 = value;
+    }
+
+    /// An integer parameter (registry-validated to exist and be U64).
+    pub fn u64(&self, key: &str) -> u64 {
+        match self.get(key) {
+            ParamValue::U64(v) => *v,
+            other => panic!("parameter `{key}` is not u64: {other:?}"),
+        }
+    }
+
+    /// A float parameter.
+    pub fn f64(&self, key: &str) -> f64 {
+        match self.get(key) {
+            ParamValue::F64(v) => *v,
+            ParamValue::U64(v) => *v as f64,
+            other => panic!("parameter `{key}` is not f64: {other:?}"),
+        }
+    }
+
+    /// A string parameter.
+    pub fn str(&self, key: &str) -> &str {
+        match self.get(key) {
+            ParamValue::Str(v) => v,
+            other => panic!("parameter `{key}` is not a string: {other:?}"),
+        }
+    }
+}
+
+/// Signature of a descriptor's build function: resolved parameters yield
+/// a live model or a typed error.
+pub type BuildModelFn = fn(&ResolvedParams) -> Result<Arc<dyn FaultModel>, BuildError>;
+
+/// Signature of a descriptor's canonicalization hook (see
+/// [`FaultModelDescriptor::canonicalize`]).
+pub type CanonicalizeFn = fn(&mut ResolvedParams) -> Result<(), BuildError>;
+
+/// A registered fault model: name, documentation, the advertised nesting
+/// contract, parameter schema, and the label/build functions.
+pub struct FaultModelDescriptor {
+    /// Registered name (what `--fault-model` selects).
+    pub name: &'static str,
+    /// One-line description for `killi fault-models`.
+    pub doc: &'static str,
+    /// The nesting contract the built models advertise (see
+    /// [`FaultModel::voltage_nested`]).
+    pub voltage_nested: bool,
+    /// Declared parameters with defaults.
+    pub params: Vec<ParamSpec>,
+    /// Report label for a resolved config (the string stamped into
+    /// reports and obs events, e.g. `clustered:rows=4,corr=0.8`).
+    pub label: fn(&ResolvedParams) -> String,
+    /// Builds the model.
+    pub build: BuildModelFn,
+    /// Optional canonicalization hook, run after resolution: folds
+    /// environment-dependent parameters (e.g. a parameter *file path*)
+    /// into value-equivalent canonical ones (its *contents*), so
+    /// content-addressed cache keys depend on what a model computes, not
+    /// on where its inputs live.
+    pub canonicalize: Option<CanonicalizeFn>,
+}
+
+impl fmt::Debug for FaultModelDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultModelDescriptor")
+            .field("name", &self.name)
+            .field("voltage_nested", &self.voltage_nested)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// The ordered collection of registered fault models.
+#[derive(Debug, Default)]
+pub struct FaultModelRegistry {
+    models: Vec<FaultModelDescriptor>,
+}
+
+impl FaultModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FaultModelRegistry::default()
+    }
+
+    /// Registers a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name — registrations are code, not data.
+    pub fn register(&mut self, descriptor: FaultModelDescriptor) {
+        assert!(
+            self.descriptor(descriptor.name).is_none(),
+            "fault model `{}` registered twice",
+            descriptor.name
+        );
+        self.models.push(descriptor);
+    }
+
+    /// The descriptor registered under `name`.
+    pub fn descriptor(&self, name: &str) -> Option<&FaultModelDescriptor> {
+        self.models.iter().find(|d| d.name == name)
+    }
+
+    /// All descriptors, in registration order.
+    pub fn descriptors(&self) -> &[FaultModelDescriptor] {
+        &self.models
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.models.iter().map(|d| d.name).collect()
+    }
+
+    /// Resolves a config against its descriptor: every override must name
+    /// a declared parameter and coerce to its default's type.
+    pub fn resolve(&self, config: &FaultModelConfig) -> Result<ResolvedParams, BuildError> {
+        let descriptor = self
+            .descriptor(&config.name)
+            .ok_or_else(|| BuildError::UnknownModel {
+                name: config.name.clone(),
+            })?;
+        for (key, _) in &config.params {
+            if !descriptor.params.iter().any(|p| p.name == key) {
+                return Err(BuildError::UnknownParam {
+                    model: config.name.clone(),
+                    param: key.clone(),
+                });
+            }
+        }
+        let mut values = Vec::with_capacity(descriptor.params.len());
+        for spec in &descriptor.params {
+            let value = match config.get(spec.name) {
+                None => spec.default.clone(),
+                Some(over) => {
+                    over.coerce_to(&spec.default)
+                        .ok_or_else(|| BuildError::InvalidParam {
+                            model: config.name.clone(),
+                            param: spec.name.to_string(),
+                            reason: format!(
+                                "expected {} (default {}), got `{over}`",
+                                spec.default.type_name(),
+                                spec.default
+                            ),
+                        })?
+                }
+            };
+            values.push((spec.name, value));
+        }
+        Ok(ResolvedParams {
+            model: descriptor.name,
+            values,
+        })
+    }
+
+    /// Validates a config without building it.
+    pub fn validate(&self, config: &FaultModelConfig) -> Result<(), BuildError> {
+        self.resolve(config).map(|_| ())
+    }
+
+    /// The report label of a config.
+    pub fn label(&self, config: &FaultModelConfig) -> Result<String, BuildError> {
+        let resolved = self.resolve(config)?;
+        let descriptor = self.descriptor(&config.name).expect("resolved above");
+        Ok((descriptor.label)(&resolved))
+    }
+
+    /// Normalizes a config to its canonical spelling: every declared
+    /// parameter spelled explicitly, in descriptor declaration order, with
+    /// values coerced to the declared type and environment-dependent
+    /// parameters folded (see [`FaultModelDescriptor::canonicalize`]). Any
+    /// two configs that resolve to the same model canonicalize to equal
+    /// [`FaultModelConfig`]s, which is what content-addressed caching
+    /// keys on.
+    pub fn canonicalize(&self, config: &FaultModelConfig) -> Result<FaultModelConfig, BuildError> {
+        let mut resolved = self.resolve(config)?;
+        let descriptor = self.descriptor(&config.name).expect("resolved above");
+        if let Some(hook) = descriptor.canonicalize {
+            hook(&mut resolved)?;
+        }
+        Ok(FaultModelConfig {
+            name: resolved.model.to_string(),
+            params: resolved
+                .values
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        })
+    }
+
+    /// The canonical JSON spelling of a config (see
+    /// [`FaultModelRegistry::canonicalize`]): equal models produce
+    /// byte-identical JSON, suitable for hashing into a cache key.
+    pub fn canonical_json(&self, config: &FaultModelConfig) -> Result<String, BuildError> {
+        Ok(self.canonicalize(config)?.to_json())
+    }
+
+    /// Builds a config into a live model.
+    pub fn build(&self, config: &FaultModelConfig) -> Result<Arc<dyn FaultModel>, BuildError> {
+        let resolved = self.resolve(config)?;
+        let descriptor = self.descriptor(&config.name).expect("resolved above");
+        (descriptor.build)(&resolved)
+    }
+}
+
+/// Name of the default (paper) model.
+pub const STUCK_AT: &str = "stuck-at";
+
+/// The process-wide registry with every built-in model registered.
+pub fn default_registry() -> &'static FaultModelRegistry {
+    static REGISTRY: OnceLock<FaultModelRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut registry = FaultModelRegistry::new();
+        register_builtin_models(&mut registry);
+        registry
+    })
+}
+
+// ---------------------------------------------------------------------------
+// stuck-at / table: parametric lognormal-mixture stuck-at faults
+// ---------------------------------------------------------------------------
+
+/// The parametric stuck-at model behind both `stuck-at` (FinFET-14
+/// calibration) and `table` (measured-CDF calibration): persistent faults
+/// drawn cell-wise from a [`CellFailureModel`], voltage-nested by
+/// construction (each cell's uniform threshold is frozen; voltage only
+/// moves the probability it is compared against).
+#[derive(Debug, Clone)]
+struct ParametricStuckAt {
+    cell: CellFailureModel,
+}
+
+impl FaultModel for ParametricStuckAt {
+    fn map(&self, lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap {
+        FaultMap::generate(lines, &self.cell, MapOptions::new(vdd, freq, seed))
+    }
+
+    fn map_reference(&self, lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap {
+        FaultMap::generate(lines, &self.cell, MapOptions::new(vdd, freq, seed).dense())
+    }
+
+    fn die(
+        &self,
+        lines: usize,
+        cap_vdd: NormVdd,
+        freq: FreqGhz,
+        seed: u64,
+    ) -> Option<Box<dyn ReplicateDie>> {
+        Some(Box::new(StuckAtDie {
+            table: DieFaultTable::build(lines, &self.cell, cap_vdd, freq, seed),
+            cell: self.cell.clone(),
+        }))
+    }
+
+    fn voltage_nested(&self) -> bool {
+        true
+    }
+
+    fn cell_model(&self) -> Option<&CellFailureModel> {
+        Some(&self.cell)
+    }
+}
+
+/// One memoized die of [`ParametricStuckAt`].
+struct StuckAtDie {
+    table: DieFaultTable,
+    cell: CellFailureModel,
+}
+
+impl ReplicateDie for StuckAtDie {
+    fn map_at(&self, vdd: NormVdd) -> FaultMap {
+        self.table.fault_map_at(&self.cell, vdd)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// clustered: MoRS-style row/column-correlated stuck-at faults
+// ---------------------------------------------------------------------------
+
+/// Row/column-clustered stuck-at faults: each line's effective variation
+/// draw mixes a per-row component (shared by `rows` consecutive lines), a
+/// per-column-group component (shared die-wide by cells in the same group
+/// of `col_cells` cells), and an independent per-line residual, with the
+/// weights chosen so the marginal per-cell distribution matches the base
+/// model. All draws are frozen across voltage, so nesting holds exactly
+/// as for the plain stuck-at model.
+#[derive(Debug, Clone)]
+struct ClusteredModel {
+    cell: CellFailureModel,
+    rows: u64,
+    corr: f64,
+    col_cells: u64,
+    col_corr: f64,
+}
+
+impl ClusteredModel {
+    /// The frozen per-line and per-column-group normal draws.
+    fn z_line(&self, seed: u64, line: u64) -> f64 {
+        let row_seed = splitmix64(seed ^ 0x524F_575A_5EED_0001); // "ROWZ" domain
+        let z_row = standard_normal(hash3(row_seed, line / self.rows.max(1), 0xF00D));
+        let base = hash3_base(seed, line);
+        let z_resid = standard_normal(hash3_with_base(base, 0xF00D));
+        let resid_weight = (1.0 - self.corr * self.corr - self.col_corr * self.col_corr)
+            .max(0.0)
+            .sqrt();
+        self.corr * z_row + resid_weight * z_resid
+    }
+
+    /// The shared column-group draw for cell-group `group`.
+    fn z_col(&self, seed: u64, group: u64) -> f64 {
+        let col_seed = splitmix64(seed ^ 0xC01_5EED_0000_0002); // "COL" domain
+        standard_normal(hash3(col_seed, group, 0xF00D))
+    }
+}
+
+impl FaultModel for ClusteredModel {
+    fn map(&self, lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap {
+        let median = self.cell.p_cell_median(vdd, freq, FailureKind::Combined);
+        let groups = usize::from(layout::CELLS_PER_LINE).div_ceil(self.col_cells.max(1) as usize);
+        // Column-group draws are shared die-wide; hoist them.
+        let z_cols: Vec<f64> = (0..groups).map(|g| self.z_col(seed, g as u64)).collect();
+        let mut faults = Vec::with_capacity(lines);
+        let mut scratch = Vec::new();
+        let mut mean_p_line = 0.0;
+        for line in 0..lines {
+            let base = hash3_base(seed, line as u64);
+            let z_line = self.z_line(seed, line as u64);
+            scratch.clear();
+            let mut p_line = 0.0;
+            for (g, &z_col) in z_cols.iter().enumerate() {
+                let z = z_line + self.col_corr * z_col;
+                let p = self.cell.line_p(median, z);
+                let threshold = unit_threshold(p);
+                // col_cells is validated to be in [1, CELLS_PER_LINE], so
+                // this arithmetic stays in u16 range.
+                let start = (g as u64 * self.col_cells) as u16;
+                let end = (start + self.col_cells as u16).min(layout::CELLS_PER_LINE);
+                p_line += p * f64::from(end - start);
+                if threshold > 0 {
+                    for cell in start..end {
+                        let h = hash3_with_base(base, u64::from(cell));
+                        if (h >> 11) < threshold {
+                            scratch.push(CellFault {
+                                cell,
+                                stuck: h & (1 << 63) != 0,
+                            });
+                        }
+                    }
+                }
+            }
+            mean_p_line += p_line / f64::from(layout::CELLS_PER_LINE);
+            faults.push(scratch.as_slice().into());
+        }
+        let mean_p_line = mean_p_line / lines.max(1) as f64;
+        FaultMap::from_parts(faults, median, mean_p_line, vdd, freq, seed)
+    }
+
+    fn voltage_nested(&self) -> bool {
+        true
+    }
+
+    fn cell_model(&self) -> Option<&CellFailureModel> {
+        Some(&self.cell)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// transient: random/burst/MSB-biased flips over a persistent base
+// ---------------------------------------------------------------------------
+
+/// How the transient overlay picks cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransientMode {
+    /// Each cell flips independently with probability `rate`.
+    Random,
+    /// Each line suffers a burst of `burst_len` adjacent flipped cells
+    /// with probability `rate`.
+    Burst,
+    /// Like `Random`, but only the most significant bit of each byte is
+    /// eligible (rate scaled by 8 to keep the overall density).
+    Msb,
+}
+
+/// Transient flips layered on a persistent stuck-at base. The overlay is
+/// re-drawn per operating point (the physical upsets a die sees during a
+/// run at 0.6 V are not a subset of those at 0.55 V), so the model
+/// *declares itself non-nested*; the persistent substrate underneath
+/// still nests.
+#[derive(Debug, Clone)]
+struct TransientModel {
+    cell: CellFailureModel,
+    mode: TransientMode,
+    rate: f64,
+    burst_len: u64,
+}
+
+impl TransientModel {
+    /// Merges the transient overlay into a persistent base map. The base
+    /// wins on conflicts (a stuck cell cannot also be flipped); the
+    /// result stays sorted by cell index like every generated map.
+    fn overlay(&self, base: FaultMap, lines: usize, vdd: NormVdd) -> FaultMap {
+        let seed = base.seed();
+        let (_, freq) = base.operating_point();
+        // The overlay domain folds the voltage in: transient populations
+        // at different operating points are independent draws.
+        let tseed = splitmix64(seed ^ 0x7EAB_5EED ^ vdd.0.to_bits());
+        let threshold = match self.mode {
+            TransientMode::Random => unit_threshold(self.rate),
+            TransientMode::Burst => 0,
+            TransientMode::Msb => unit_threshold((self.rate * 8.0).min(1.0)),
+        };
+        let mut faults = Vec::with_capacity(lines);
+        let mut scratch: Vec<CellFault> = Vec::new();
+        for line in 0..lines {
+            let tbase = hash3_base(tseed, line as u64);
+            scratch.clear();
+            match self.mode {
+                TransientMode::Random | TransientMode::Msb => {
+                    for cell in 0..layout::CELLS_PER_LINE {
+                        if self.mode == TransientMode::Msb && cell % 8 != 7 {
+                            continue;
+                        }
+                        let h = hash3_with_base(tbase, u64::from(cell));
+                        if (h >> 11) < threshold {
+                            scratch.push(CellFault {
+                                cell,
+                                stuck: h & (1 << 63) != 0,
+                            });
+                        }
+                    }
+                }
+                TransientMode::Burst => {
+                    let h = hash3_with_base(tbase, 0xB0B5);
+                    if to_unit(h) < self.rate {
+                        let start =
+                            hash3_with_base(tbase, 0x57A7) % u64::from(layout::CELLS_PER_LINE);
+                        for i in 0..self.burst_len {
+                            let cell = ((start + i) % u64::from(layout::CELLS_PER_LINE)) as u16;
+                            let hb = hash3_with_base(tbase, 0x1_0000 + u64::from(cell));
+                            scratch.push(CellFault {
+                                cell,
+                                stuck: hb & (1 << 63) != 0,
+                            });
+                        }
+                        scratch.sort_unstable_by_key(|f| f.cell);
+                    }
+                }
+            }
+            // Merge (both sides sorted): persistent faults win.
+            let persistent = base.line(line);
+            let mut merged = Vec::with_capacity(persistent.len() + scratch.len());
+            let mut t = scratch.iter().peekable();
+            for &p in persistent {
+                while let Some(&&next) = t.peek() {
+                    if next.cell < p.cell {
+                        merged.push(next);
+                        t.next();
+                    } else {
+                        if next.cell == p.cell {
+                            t.next();
+                        }
+                        break;
+                    }
+                }
+                merged.push(p);
+            }
+            merged.extend(t.copied());
+            faults.push(merged.into_boxed_slice());
+        }
+        // The derived statistics describe the persistent substrate; the
+        // transient layer is an overlay on top of them.
+        FaultMap::from_parts(
+            faults,
+            base.p_cell_median(),
+            base.mean_p_line(),
+            vdd,
+            freq,
+            seed,
+        )
+    }
+}
+
+impl FaultModel for TransientModel {
+    fn map(&self, lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap {
+        let base = FaultMap::generate(lines, &self.cell, MapOptions::new(vdd, freq, seed));
+        self.overlay(base, lines, vdd)
+    }
+
+    fn map_reference(&self, lines: usize, vdd: NormVdd, freq: FreqGhz, seed: u64) -> FaultMap {
+        let base = FaultMap::generate(lines, &self.cell, MapOptions::new(vdd, freq, seed).dense());
+        self.overlay(base, lines, vdd)
+    }
+
+    fn voltage_nested(&self) -> bool {
+        false
+    }
+
+    fn cell_model(&self) -> Option<&CellFailureModel> {
+        Some(&self.cell)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+/// Spells anchors canonically: `vdd@log10_p` pairs joined by `;` (chosen
+/// so the string survives the CLI shorthand's `,`/`:`/`=` splitting).
+fn anchors_to_str(anchors: &[(f64, f64)]) -> String {
+    anchors
+        .iter()
+        .map(|(v, l)| format!("{v:?}@{l:?}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses an anchors string (see [`anchors_to_str`]).
+fn anchors_from_str(text: &str) -> Result<Vec<(f64, f64)>, String> {
+    let mut anchors = Vec::new();
+    for pair in text.split(';') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let Some((v, l)) = pair.split_once('@') else {
+            return Err(format!("anchor `{pair}` is not vdd@log10_p"));
+        };
+        let v: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("anchor voltage `{v}` is not a number"))?;
+        let l: f64 = l
+            .trim()
+            .parse()
+            .map_err(|_| format!("anchor log10_p `{l}` is not a number"))?;
+        anchors.push((v, l));
+    }
+    Ok(anchors)
+}
+
+/// Loads anchors from a parameter file: one `vdd,log10_p` pair per line,
+/// `#` comments and blank lines ignored (the measured-CDF flow).
+fn anchors_from_file(path: &str) -> Result<Vec<(f64, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut anchors = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((v, l)) = line.split_once(',') else {
+            return Err(format!("{path}:{}: expected `vdd,log10_p`", number + 1));
+        };
+        let v: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path}:{}: voltage `{v}` is not a number", number + 1))?;
+        let l: f64 = l
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path}:{}: log10_p `{l}` is not a number", number + 1))?;
+        anchors.push((v, l));
+    }
+    Ok(anchors)
+}
+
+/// Resolves the `table` model's anchors: the file takes precedence over
+/// the inline string when set.
+fn table_anchors(p: &ResolvedParams) -> Result<Vec<(f64, f64)>, BuildError> {
+    let model_err = |reason: String| BuildError::Model {
+        model: p.model().to_string(),
+        reason,
+    };
+    let file = p.str("file");
+    let anchors = if file.is_empty() {
+        anchors_from_str(p.str("anchors")).map_err(model_err)?
+    } else {
+        anchors_from_file(file).map_err(model_err)?
+    };
+    if anchors.len() < 2 {
+        return Err(model_err("need at least two anchors".to_string()));
+    }
+    if !anchors.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(model_err(
+            "anchor voltages must be strictly increasing".to_string(),
+        ));
+    }
+    Ok(anchors)
+}
+
+/// The FinFET-14 anchors spelled as the `table` model's default, so the
+/// default `table` config builds (and approximates `stuck-at`).
+fn finfet14_anchors_str() -> String {
+    anchors_to_str(CellFailureModel::finfet14().anchors())
+}
+
+/// Registers the built-in fault models (see the module docs).
+pub fn register_builtin_models(registry: &mut FaultModelRegistry) {
+    registry.register(FaultModelDescriptor {
+        name: STUCK_AT,
+        doc: "the paper's persistent stuck-at model (14nm FinFET calibration, §3)",
+        voltage_nested: true,
+        params: Vec::new(),
+        label: |_| STUCK_AT.to_string(),
+        build: |_| {
+            Ok(Arc::new(ParametricStuckAt {
+                cell: CellFailureModel::finfet14(),
+            }))
+        },
+        canonicalize: None,
+    });
+
+    registry.register(FaultModelDescriptor {
+        name: "clustered",
+        doc: "MoRS-style row/column-correlated persistent stuck-at faults",
+        voltage_nested: true,
+        params: vec![
+            ParamSpec {
+                name: "rows",
+                doc: "lines per physical row (share one row-variation draw)",
+                default: ParamValue::U64(4),
+            },
+            ParamSpec {
+                name: "corr",
+                doc: "row-correlation weight in [0, 1]",
+                default: ParamValue::F64(0.8),
+            },
+            ParamSpec {
+                name: "col_cells",
+                doc: "cells per column group (share one column draw die-wide)",
+                default: ParamValue::U64(64),
+            },
+            ParamSpec {
+                name: "col_corr",
+                doc: "column-correlation weight in [0, 1]",
+                default: ParamValue::F64(0.0),
+            },
+        ],
+        label: |p| {
+            let mut label = format!("clustered:rows={},corr={:?}", p.u64("rows"), p.f64("corr"));
+            if p.f64("col_corr") > 0.0 {
+                label.push_str(&format!(
+                    ",col_cells={},col_corr={:?}",
+                    p.u64("col_cells"),
+                    p.f64("col_corr")
+                ));
+            }
+            label
+        },
+        build: |p| {
+            let invalid = |param: &str, reason: &str| BuildError::InvalidParam {
+                model: p.model().to_string(),
+                param: param.to_string(),
+                reason: reason.to_string(),
+            };
+            let (rows, corr) = (p.u64("rows"), p.f64("corr"));
+            let (col_cells, col_corr) = (p.u64("col_cells"), p.f64("col_corr"));
+            if rows == 0 {
+                return Err(invalid("rows", "must be positive"));
+            }
+            if !(1..=u64::from(layout::CELLS_PER_LINE)).contains(&col_cells) {
+                return Err(invalid("col_cells", "must be in [1, 560]"));
+            }
+            if !(0.0..=1.0).contains(&corr) {
+                return Err(invalid("corr", "must be in [0, 1]"));
+            }
+            if !(0.0..=1.0).contains(&col_corr) {
+                return Err(invalid("col_corr", "must be in [0, 1]"));
+            }
+            if corr * corr + col_corr * col_corr > 1.0 {
+                return Err(invalid(
+                    "corr",
+                    "corr^2 + col_corr^2 must not exceed 1 (variance budget)",
+                ));
+            }
+            Ok(Arc::new(ClusteredModel {
+                cell: CellFailureModel::finfet14(),
+                rows,
+                corr,
+                col_cells,
+                col_corr,
+            }))
+        },
+        canonicalize: None,
+    });
+
+    registry.register(FaultModelDescriptor {
+        name: "transient",
+        doc: "random/burst/MSB-biased transient flips over a stuck-at base (NOT voltage-nested)",
+        voltage_nested: false,
+        params: vec![
+            ParamSpec {
+                name: "mode",
+                doc: "overlay shape: random | burst | msb",
+                default: ParamValue::Str("random".to_string()),
+            },
+            ParamSpec {
+                name: "rate",
+                doc: "per-cell (random/msb) or per-line (burst) flip probability",
+                default: ParamValue::F64(1e-4),
+            },
+            ParamSpec {
+                name: "burst_len",
+                doc: "adjacent cells flipped per burst event (burst mode)",
+                default: ParamValue::U64(4),
+            },
+        ],
+        label: |p| {
+            let mut label = format!("transient:mode={},rate={:?}", p.str("mode"), p.f64("rate"));
+            if p.str("mode") == "burst" {
+                label.push_str(&format!(",burst_len={}", p.u64("burst_len")));
+            }
+            label
+        },
+        build: |p| {
+            let invalid = |param: &str, reason: String| BuildError::InvalidParam {
+                model: p.model().to_string(),
+                param: param.to_string(),
+                reason,
+            };
+            let mode = match p.str("mode") {
+                "random" => TransientMode::Random,
+                "burst" => TransientMode::Burst,
+                "msb" => TransientMode::Msb,
+                other => {
+                    return Err(invalid(
+                        "mode",
+                        format!("`{other}` is not one of random, burst, msb"),
+                    ))
+                }
+            };
+            let rate = p.f64("rate");
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(invalid("rate", "must be a probability".to_string()));
+            }
+            let burst_len = p.u64("burst_len");
+            if !(1..=u64::from(layout::CELLS_PER_LINE)).contains(&burst_len) {
+                return Err(invalid(
+                    "burst_len",
+                    format!("must be in [1, {}]", layout::CELLS_PER_LINE),
+                ));
+            }
+            Ok(Arc::new(TransientModel {
+                cell: CellFailureModel::finfet14(),
+                mode,
+                rate,
+                burst_len,
+            }))
+        },
+        canonicalize: None,
+    });
+
+    registry.register(FaultModelDescriptor {
+        name: "table",
+        doc: "persistent stuck-at faults drawn from a measured CDF (inline anchors or a file)",
+        voltage_nested: true,
+        params: vec![
+            ParamSpec {
+                name: "file",
+                doc: "parameter file of `vdd,log10_p` lines (overrides `anchors`)",
+                default: ParamValue::Str(String::new()),
+            },
+            ParamSpec {
+                name: "anchors",
+                doc: "inline CDF anchors: `vdd@log10_p` pairs joined by `;`",
+                default: ParamValue::Str(finfet14_anchors_str()),
+            },
+            ParamSpec {
+                name: "sigma",
+                doc: "lognormal line-to-line variation (in ln units)",
+                default: ParamValue::F64(2.0),
+            },
+        ],
+        label: |p| {
+            let anchors = table_anchors(p).map(|a| a.len()).unwrap_or(0);
+            format!("table:anchors={anchors},sigma={:?}", p.f64("sigma"))
+        },
+        build: |p| {
+            let anchors = table_anchors(p)?;
+            let sigma = p.f64("sigma");
+            if sigma < 0.0 {
+                return Err(BuildError::InvalidParam {
+                    model: p.model().to_string(),
+                    param: "sigma".to_string(),
+                    reason: "must be non-negative".to_string(),
+                });
+            }
+            Ok(Arc::new(ParametricStuckAt {
+                cell: CellFailureModel::from_anchors(anchors, sigma),
+            }))
+        },
+        canonicalize: Some(|p| {
+            // Fold the file's *contents* into the inline anchors (and
+            // normalize their spelling) so cache keys address what the
+            // model computes, not the path it was loaded from.
+            let anchors = table_anchors(p)?;
+            p.set("anchors", ParamValue::Str(anchors_to_str(&anchors)));
+            p.set("file", ParamValue::Str(String::new()));
+            Ok(())
+        }),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> FaultModelRegistry {
+        let mut r = FaultModelRegistry::new();
+        register_builtin_models(&mut r);
+        r
+    }
+
+    fn assert_maps_equal(a: &FaultMap, b: &FaultMap) {
+        assert_eq!(a.lines(), b.lines());
+        for l in 0..a.lines() {
+            assert_eq!(a.line(l), b.line(l), "line {l} differs");
+        }
+    }
+
+    #[test]
+    fn all_builtin_models_build_from_defaults() {
+        let r = registry();
+        assert_eq!(
+            r.names(),
+            vec!["stuck-at", "clustered", "transient", "table"]
+        );
+        for d in r.descriptors() {
+            let model = r
+                .build(&FaultModelConfig::new(d.name))
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(model.voltage_nested(), d.voltage_nested, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn every_model_is_deterministic_and_reference_equal() {
+        let r = registry();
+        for d in r.descriptors() {
+            let model = r.build(&FaultModelConfig::new(d.name)).unwrap();
+            let a = model.map(64, NormVdd(0.575), FreqGhz::PEAK, 7);
+            let b = model.map(64, NormVdd(0.575), FreqGhz::PEAK, 7);
+            let reference = model.map_reference(64, NormVdd(0.575), FreqGhz::PEAK, 7);
+            assert_maps_equal(&a, &b);
+            assert_maps_equal(&a, &reference);
+        }
+    }
+
+    #[test]
+    fn stuck_at_matches_the_old_concrete_path_bit_for_bit() {
+        let r = registry();
+        let model = r.build(&FaultModelConfig::default()).unwrap();
+        for vdd in [0.55, 0.6, 0.65] {
+            let via_registry = model.map(96, NormVdd(vdd), FreqGhz::PEAK, 42);
+            let direct = FaultMap::generate(
+                96,
+                &CellFailureModel::finfet14(),
+                MapOptions::new(NormVdd(vdd), FreqGhz::PEAK, 42),
+            );
+            assert_maps_equal(&via_registry, &direct);
+        }
+    }
+
+    #[test]
+    fn stuck_at_die_matches_per_voltage_maps() {
+        let r = registry();
+        let model = r.build(&FaultModelConfig::default()).unwrap();
+        let die = model
+            .die(64, NormVdd(0.55), FreqGhz::PEAK, 9)
+            .expect("stuck-at factorizes across voltage");
+        for vdd in [0.55, 0.6, 0.7] {
+            assert_maps_equal(
+                &die.map_at(NormVdd(vdd)),
+                &model.map(64, NormVdd(vdd), FreqGhz::PEAK, 9),
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_is_voltage_nested_and_row_correlated() {
+        let r = registry();
+        let model = r
+            .build(&FaultModelConfig::parse("clustered:rows=8,corr=0.9").unwrap())
+            .unwrap();
+        let hi = model.map(256, NormVdd(0.6), FreqGhz::PEAK, 3);
+        let lo = model.map(256, NormVdd(0.55), FreqGhz::PEAK, 3);
+        for l in 0..256 {
+            for f in hi.line(l) {
+                assert!(lo.line(l).contains(f), "nesting violated at line {l}");
+            }
+        }
+        // Row clustering: the variance of per-row fault counts under high
+        // correlation exceeds the uncorrelated model's (faults pile into
+        // shared-draw rows instead of spreading).
+        let uncorrelated = r
+            .build(&FaultModelConfig::parse("clustered:rows=8,corr=0.0").unwrap())
+            .unwrap();
+        let row_variance = |map: &FaultMap| {
+            let rows: Vec<f64> = (0..32)
+                .map(|r| (0..8).map(|i| map.line(r * 8 + i).len()).sum::<usize>() as f64)
+                .collect();
+            let mean = rows.iter().sum::<f64>() / rows.len() as f64;
+            rows.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / rows.len() as f64
+        };
+        let clustered_var = row_variance(&model.map(256, NormVdd(0.55), FreqGhz::PEAK, 11));
+        let flat_var = row_variance(&uncorrelated.map(256, NormVdd(0.55), FreqGhz::PEAK, 11));
+        assert!(
+            clustered_var > flat_var,
+            "row correlation must concentrate faults: {clustered_var} <= {flat_var}"
+        );
+    }
+
+    #[test]
+    fn transient_declares_and_exhibits_non_nesting() {
+        let r = registry();
+        let model = r
+            .build(&FaultModelConfig::parse("transient:rate=0.01").unwrap())
+            .unwrap();
+        assert!(!model.voltage_nested());
+        // The overlay is redrawn per voltage: some fault present at the
+        // higher voltage must be absent at the lower one.
+        let hi = model.map(512, NormVdd(0.65), FreqGhz::PEAK, 5);
+        let lo = model.map(512, NormVdd(0.6), FreqGhz::PEAK, 5);
+        let violated = (0..512).any(|l| hi.line(l).iter().any(|f| !lo.line(l).contains(f)));
+        assert!(violated, "transient overlay should break nesting");
+    }
+
+    #[test]
+    fn transient_burst_and_msb_modes_shape_the_overlay() {
+        let r = registry();
+        let msb = r
+            .build(&FaultModelConfig::parse("transient:mode=msb,rate=0.05").unwrap())
+            .unwrap();
+        let map = msb.map(128, NormVdd::NOMINAL, FreqGhz::PEAK, 2);
+        let mut total = 0;
+        for l in 0..128 {
+            for f in map.line(l) {
+                assert_eq!(f.cell % 8, 7, "msb overlay flipped a non-MSB cell");
+                total += 1;
+            }
+        }
+        assert!(total > 0, "msb overlay fired at nominal voltage");
+
+        let burst = r
+            .build(&FaultModelConfig::parse("transient:mode=burst,rate=1.0,burst_len=6").unwrap())
+            .unwrap();
+        let map = burst.map(64, NormVdd::NOMINAL, FreqGhz::PEAK, 2);
+        for l in 0..64 {
+            assert_eq!(map.line(l).len(), 6, "burst length respected (line {l})");
+        }
+    }
+
+    #[test]
+    fn table_defaults_match_finfet14_and_empty_anchors_are_rejected() {
+        let r = registry();
+        // The default table config is the FinFET-14 curve spelled inline:
+        // it builds, and it reproduces the stuck-at map exactly (same
+        // anchors, same sigma, same draw path).
+        let table = r.build(&FaultModelConfig::new("table")).unwrap();
+        let stuck = r.build(&FaultModelConfig::default()).unwrap();
+        assert_maps_equal(
+            &table.map(64, NormVdd(0.575), FreqGhz::PEAK, 7),
+            &stuck.map(64, NormVdd(0.575), FreqGhz::PEAK, 7),
+        );
+        let err = r
+            .build(&FaultModelConfig::new("table").with("anchors", ParamValue::Str(String::new())))
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Model { .. }), "{err}");
+    }
+
+    #[test]
+    fn table_file_and_inline_spellings_canonicalize_identically() {
+        let r = registry();
+        let dir = std::env::temp_dir().join("killi_fault_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cdf.csv");
+        std::fs::write(&path, "# measured CDF\n0.5,-0.3\n0.6, -4.19\n\n0.7,-9.5\n").unwrap();
+        let from_file = FaultModelConfig::new("table")
+            .with("file", ParamValue::Str(path.to_str().unwrap().to_string()));
+        let inline = FaultModelConfig::parse("table:anchors=0.5@-0.3;0.6@-4.19;0.7@-9.5").unwrap();
+        let a = r.canonicalize(&from_file).unwrap();
+        let b = r.canonicalize(&inline).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.get("file"), Some(&ParamValue::Str(String::new())));
+        // And both build the same maps.
+        let ma = r.build(&from_file).unwrap();
+        let mb = r.build(&inline).unwrap();
+        assert_maps_equal(
+            &ma.map(64, NormVdd(0.55), FreqGhz::PEAK, 1),
+            &mb.map(64, NormVdd(0.55), FreqGhz::PEAK, 1),
+        );
+    }
+
+    #[test]
+    fn spellings_round_trip_through_canonicalization() {
+        let r = registry();
+        let shorthand = FaultModelConfig::parse("clustered:rows=8,corr=0.5").unwrap();
+        let json = FaultModelConfig::from_json(
+            r#"{"name": "clustered", "params": {"corr": 0.5, "rows": 8}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.canonicalize(&shorthand).unwrap(),
+            r.canonicalize(&json).unwrap()
+        );
+        // Display round-trips through parse.
+        let canonical = r.canonicalize(&shorthand).unwrap();
+        let reparsed = FaultModelConfig::parse(&canonical.to_string()).unwrap();
+        assert_eq!(r.canonicalize(&reparsed).unwrap(), canonical);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let r = registry();
+        assert!(matches!(
+            r.validate(&FaultModelConfig::new("nope")),
+            Err(BuildError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            r.validate(&FaultModelConfig::parse("clustered:bogus=1").unwrap()),
+            Err(BuildError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            r.validate(&FaultModelConfig::parse("clustered:rows=abc").unwrap()),
+            Err(BuildError::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            r.build(&FaultModelConfig::parse("clustered:corr=0.9,col_corr=0.9").unwrap()),
+            Err(BuildError::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            r.build(&FaultModelConfig::parse("transient:mode=gamma").unwrap()),
+            Err(BuildError::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn default_registry_is_shared_and_complete() {
+        let r = default_registry();
+        assert_eq!(r.names().len(), 4);
+        assert!(std::ptr::eq(r, default_registry()));
+    }
+}

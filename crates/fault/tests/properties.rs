@@ -2,7 +2,7 @@
 
 use killi_check::check;
 use killi_fault::cell_model::{CellFailureModel, FailureKind, FreqGhz, NormVdd};
-use killi_fault::map::{DieFaultTable, FaultMap};
+use killi_fault::map::{DieFaultTable, FaultMap, MapOptions};
 use killi_fault::prob::{binom_cdf, binom_pmf, binom_sf};
 use killi_fault::rng::{hash3, to_unit};
 
@@ -24,8 +24,16 @@ fn voltage_monotonicity_holds_for_any_pair() {
         let v_lo = g.f64_in(0.50, 0.64);
         let v_hi = (v_lo + g.f64_in(0.005, 0.1)).min(0.7);
         let model = CellFailureModel::finfet14();
-        let hi = FaultMap::build(64, &model, NormVdd(v_hi), FreqGhz::PEAK, seed);
-        let lo = FaultMap::build(64, &model, NormVdd(v_lo), FreqGhz::PEAK, seed);
+        let hi = FaultMap::generate(
+            64,
+            &model,
+            MapOptions::new(NormVdd(v_hi), FreqGhz::PEAK, seed),
+        );
+        let lo = FaultMap::generate(
+            64,
+            &model,
+            MapOptions::new(NormVdd(v_lo), FreqGhz::PEAK, seed),
+        );
         for l in 0..64 {
             for f in hi.line(l) {
                 assert!(lo.line(l).contains(f));
@@ -42,8 +50,8 @@ fn sparse_build_matches_dense_for_any_operating_point() {
         let freq = FreqGhz(g.f64_in(0.3, 1.0));
         let lines = g.usize_in(1, 96);
         let model = CellFailureModel::finfet14();
-        let fast = FaultMap::build(lines, &model, vdd, freq, seed);
-        let dense = FaultMap::build_dense(lines, &model, vdd, freq, seed);
+        let fast = FaultMap::generate(lines, &model, MapOptions::new(vdd, freq, seed));
+        let dense = FaultMap::generate(lines, &model, MapOptions::new(vdd, freq, seed).dense());
         assert_maps_identical(&fast, &dense);
     });
 }
@@ -58,7 +66,11 @@ fn die_table_derives_dense_maps_at_any_grid_point() {
         let model = CellFailureModel::finfet14();
         let table = DieFaultTable::build(lines, &model, NormVdd(cap), FreqGhz::PEAK, seed);
         let derived = table.fault_map_at(&model, vdd);
-        let dense = FaultMap::build_dense(lines, &model, vdd, FreqGhz::PEAK, seed);
+        let dense = FaultMap::generate(
+            lines,
+            &model,
+            MapOptions::new(vdd, FreqGhz::PEAK, seed).dense(),
+        );
         assert_maps_identical(&derived, &dense);
     });
 }
@@ -123,7 +135,11 @@ fn corruption_is_idempotent() {
         let seed = g.u64();
         let data_seed = g.u64();
         let model = CellFailureModel::finfet14();
-        let map = FaultMap::build(32, &model, NormVdd(0.55), FreqGhz::PEAK, seed);
+        let map = FaultMap::generate(
+            32,
+            &model,
+            MapOptions::new(NormVdd(0.55), FreqGhz::PEAK, seed),
+        );
         for l in 0..32 {
             let mut once = killi_ecc::bits::Line512::from_seed(data_seed);
             map.corrupt_data(l, &mut once);

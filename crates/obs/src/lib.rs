@@ -19,6 +19,7 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod params;
 pub mod serve;
 pub mod sink;
 pub mod trace;
@@ -26,6 +27,7 @@ pub mod trace;
 pub use event::KilliEvent;
 pub use json::{escape as escape_json, parse as parse_json, JsonError, JsonValue};
 pub use metrics::{Counter, Histogram, MetricSet};
+pub use params::ParamValue;
 pub use serve::{ServeCounter, ServeEvent, ServeMetrics};
 pub use sink::Sink;
 pub use trace::TraceBuffer;

@@ -1,0 +1,144 @@
+//! Typed parameter values shared by the data-driven registries.
+//!
+//! Both the protection-scheme registry (`killi::registry`) and the
+//! fault-model registry (`killi_fault::model`) describe their knobs as
+//! named, typed parameters with defaults, spellable three ways: CLI
+//! shorthand (`key=value`), JSON objects, and programmatic construction.
+//! [`ParamValue`] is the one value type behind all of them; it lives here
+//! because `killi-obs` is the dependency-free root of the crate graph,
+//! below both registries.
+
+use std::fmt;
+
+use crate::json::{escape as escape_json, JsonValue};
+
+/// A typed registry parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Unsigned integer (counts, ratios, latencies).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean switch.
+    Bool(bool),
+    /// Free-form string.
+    Str(String),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::U64(v) => write!(f, "{v}"),
+            ParamValue::F64(v) => write!(f, "{v:?}"),
+            ParamValue::Bool(v) => write!(f, "{v}"),
+            ParamValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl ParamValue {
+    /// JSON spelling of the value.
+    pub fn to_json(&self) -> String {
+        match self {
+            ParamValue::Str(s) => format!("\"{}\"", escape_json(s)),
+            other => other.to_string(),
+        }
+    }
+
+    /// A value from its CLI spelling: `true`/`false`, integer, float, else
+    /// a bare string.
+    pub fn parse(text: &str) -> ParamValue {
+        if text == "true" {
+            ParamValue::Bool(true)
+        } else if text == "false" {
+            ParamValue::Bool(false)
+        } else if let Ok(v) = text.parse::<u64>() {
+            ParamValue::U64(v)
+        } else if let Ok(v) = text.parse::<f64>() {
+            ParamValue::F64(v)
+        } else {
+            ParamValue::Str(text.to_string())
+        }
+    }
+
+    /// A value from its JSON spelling (integral non-negative numbers
+    /// become [`ParamValue::U64`]).
+    pub fn from_json(v: &JsonValue) -> Option<ParamValue> {
+        match v {
+            JsonValue::Bool(b) => Some(ParamValue::Bool(*b)),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 {
+                    Some(ParamValue::U64(*n as u64))
+                } else {
+                    Some(ParamValue::F64(*n))
+                }
+            }
+            JsonValue::Str(s) => Some(ParamValue::Str(s.clone())),
+            _ => None,
+        }
+    }
+
+    /// Human name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ParamValue::U64(_) => "an unsigned integer",
+            ParamValue::F64(_) => "a number",
+            ParamValue::Bool(_) => "a boolean",
+            ParamValue::Str(_) => "a string",
+        }
+    }
+
+    /// Coerces this value to the type of `default`, when sensible:
+    /// integral floats narrow to integers, integers widen to floats,
+    /// everything else must match exactly.
+    pub fn coerce_to(&self, default: &ParamValue) -> Option<ParamValue> {
+        match (self, default) {
+            (ParamValue::U64(v), ParamValue::U64(_)) => Some(ParamValue::U64(*v)),
+            (ParamValue::F64(v), ParamValue::U64(_)) if v.fract() == 0.0 && *v >= 0.0 => {
+                Some(ParamValue::U64(*v as u64))
+            }
+            (ParamValue::F64(v), ParamValue::F64(_)) => Some(ParamValue::F64(*v)),
+            (ParamValue::U64(v), ParamValue::F64(_)) => Some(ParamValue::F64(*v as f64)),
+            (ParamValue::Bool(v), ParamValue::Bool(_)) => Some(ParamValue::Bool(*v)),
+            (ParamValue::Str(v), ParamValue::Str(_)) => Some(ParamValue::Str(v.clone())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn cli_spellings_infer_types() {
+        assert_eq!(ParamValue::parse("true"), ParamValue::Bool(true));
+        assert_eq!(ParamValue::parse("16"), ParamValue::U64(16));
+        assert_eq!(ParamValue::parse("0.8"), ParamValue::F64(0.8));
+        assert_eq!(ParamValue::parse("fft"), ParamValue::Str("fft".to_string()));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        for v in [
+            ParamValue::U64(4),
+            ParamValue::F64(0.5),
+            ParamValue::Bool(false),
+            ParamValue::Str("a b".to_string()),
+        ] {
+            let parsed = parse(&v.to_json()).unwrap();
+            assert_eq!(ParamValue::from_json(&parsed), Some(v));
+        }
+    }
+
+    #[test]
+    fn coercion_narrows_and_widens_numbers() {
+        let u = ParamValue::U64(0);
+        let f = ParamValue::F64(0.0);
+        assert_eq!(ParamValue::F64(3.0).coerce_to(&u), Some(ParamValue::U64(3)));
+        assert_eq!(ParamValue::F64(3.5).coerce_to(&u), None);
+        assert_eq!(ParamValue::U64(3).coerce_to(&f), Some(ParamValue::F64(3.0)));
+        assert_eq!(ParamValue::Bool(true).coerce_to(&u), None);
+    }
+}

@@ -5,16 +5,21 @@
 //! Required fields: `root_seed`, `replications`, `vdds`, `schemes`,
 //! `workloads`, `ops_per_cu`. Schemes accept both spellings the
 //! registry knows — objects (`{"name": "killi", "params": {...}}`) and
-//! CLI shorthand strings (`"killi:ratio=16"`). The optional `gpu`
-//! object overrides the default hardware point with the sweep-facing
-//! knobs (`cus`, `l2_kb`, `l2_ways`, `line_bytes`, `l2_banks`,
-//! `mem_latency`). `threads` tunes execution only — it is excluded from
-//! the canonical JSON, so it never splits the result cache.
+//! CLI shorthand strings (`"killi:ratio=16"`). The optional
+//! `fault_model` takes the same two spellings against the fault-model
+//! registry (`"clustered:rows=4"` or `{"name": "clustered", ...}`) and
+//! defaults to the paper's `stuck-at`; different models canonicalize to
+//! different cache keys. The optional `gpu` object overrides the
+//! default hardware point with the sweep-facing knobs (`cus`, `l2_kb`,
+//! `l2_ways`, `line_bytes`, `l2_banks`, `mem_latency`). `threads`
+//! tunes execution only — it is excluded from the canonical JSON, so
+//! it never splits the result cache.
 //!
 //! Unknown keys are errors, not warnings: a typo like `"replciations"`
 //! must fail the submission instead of silently running a different
 //! sweep.
 
+use killi_bench::fault_models::FaultModelConfig;
 use killi_bench::schemes::SchemeConfig;
 use killi_bench::sweep::{SweepConfig, ValidatedSweepConfig};
 use killi_fault::rng::splitmix64;
@@ -45,11 +50,12 @@ fn spec_err(message: impl Into<String>) -> SpecError {
 }
 
 /// Top-level keys the payload may carry.
-const TOP_KEYS: [&str; 8] = [
+const TOP_KEYS: [&str; 9] = [
     "root_seed",
     "replications",
     "vdds",
     "schemes",
+    "fault_model",
     "workloads",
     "ops_per_cu",
     "gpu",
@@ -151,6 +157,14 @@ fn parse_schemes(v: &JsonValue) -> Result<Vec<SchemeConfig>, SpecError> {
         .collect()
 }
 
+fn parse_fault_model(v: &JsonValue) -> Result<FaultModelConfig, SpecError> {
+    match v {
+        JsonValue::Str(shorthand) => FaultModelConfig::parse(shorthand),
+        other => FaultModelConfig::from_json_value(other),
+    }
+    .map_err(|e| spec_err(e.to_string()))
+}
+
 fn parse_workloads(v: &JsonValue) -> Result<Vec<Workload>, SpecError> {
     let items = v
         .as_array()
@@ -221,6 +235,10 @@ pub fn parse_job_spec(body: &[u8]) -> Result<ValidatedSweepConfig, SpecError> {
             v.get("schemes")
                 .ok_or_else(|| spec_err("missing required field `schemes`"))?,
         )?,
+        fault_model: match v.get("fault_model") {
+            None => FaultModelConfig::default(),
+            Some(fm) => parse_fault_model(fm)?,
+        },
         workloads: parse_workloads(
             v.get("workloads")
                 .ok_or_else(|| spec_err("missing required field `workloads`"))?,
@@ -325,6 +343,41 @@ mod tests {
         assert_ne!(job_id_for(&parse_job_spec(other.as_bytes()).unwrap()), id);
         let other = GOLDEN.replace("\"ratio\": 16", "\"ratio\": 32");
         assert_ne!(job_id_for(&parse_job_spec(other.as_bytes()).unwrap()), id);
+    }
+
+    #[test]
+    fn fault_models_split_the_cache_key_and_spellings_do_not() {
+        let with_fm = |fm: &str| {
+            GOLDEN.replace(
+                "\"root_seed\": 2024,",
+                &format!("\"root_seed\": 2024, \"fault_model\": {fm},"),
+            )
+        };
+        let id = job_id_for(&parse_job_spec(GOLDEN.as_bytes()).unwrap());
+        // The explicit default spelling shares the implicit default's key.
+        let explicit = with_fm("\"stuck-at\"");
+        assert_eq!(
+            job_id_for(&parse_job_spec(explicit.as_bytes()).unwrap()),
+            id
+        );
+        // Shorthand and object spellings of one model agree with each
+        // other but never with a different model or the default.
+        let shorthand = with_fm("\"clustered:rows=8,corr=0.5\"");
+        let object = with_fm("{\"name\": \"clustered\", \"params\": {\"corr\": 0.5, \"rows\": 8}}");
+        let clustered_id = job_id_for(&parse_job_spec(shorthand.as_bytes()).unwrap());
+        assert_eq!(
+            job_id_for(&parse_job_spec(object.as_bytes()).unwrap()),
+            clustered_id
+        );
+        assert_ne!(clustered_id, id);
+        let transient = with_fm("\"transient:rate=0.001\"");
+        assert_ne!(
+            job_id_for(&parse_job_spec(transient.as_bytes()).unwrap()),
+            clustered_id
+        );
+        // Unknown models and params are rejected at submission.
+        assert!(parse_job_spec(with_fm("\"no-such-model\"").as_bytes()).is_err());
+        assert!(parse_job_spec(with_fm("\"clustered:bogus=1\"").as_bytes()).is_err());
     }
 
     #[test]

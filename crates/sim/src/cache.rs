@@ -698,7 +698,8 @@ impl std::fmt::Debug for L2Cache {
 mod tests {
     use super::*;
     use crate::protection::Unprotected;
-    use killi_fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+    use killi_fault::cell_model::{FreqGhz, NormVdd};
+    use killi_fault::model::{default_registry, FaultModelConfig};
 
     fn small_geom() -> CacheGeometry {
         CacheGeometry {
@@ -807,8 +808,10 @@ mod tests {
         // With real faults and no protection, a faulty line read back is a
         // silent data corruption — this validates the SDC detector.
         let g = small_geom();
-        let model = CellFailureModel::finfet14();
-        let map = FaultMap::build(g.lines(), &model, NormVdd(0.55), FreqGhz::PEAK, 3);
+        let model = default_registry()
+            .build(&FaultModelConfig::default())
+            .expect("stuck-at always builds");
+        let map = model.map(g.lines(), NormVdd(0.55), FreqGhz::PEAK, 3);
         let faulty_line = (0..g.lines())
             .find(|&l| map.data_fault_count(l) > 0)
             .expect("a faulty line at 0.55 VDD");

@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use killi_repro::core::scheme::{KilliConfig, KilliScheme};
-use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
-use killi_repro::fault::map::FaultMap;
+use killi_repro::fault::cell_model::{FreqGhz, NormVdd};
+use killi_repro::fault::model::{default_registry, FaultModelConfig};
 use killi_repro::sim::gpu::{GpuConfig, GpuSim};
 use killi_repro::sim::protection::Unprotected;
 use killi_repro::workloads::{TraceParams, Workload};
@@ -16,14 +16,13 @@ fn main() {
     // The paper's GPU: 8 CUs, 2 MB 16-way L2 (Table 3), undervolted to
     // 0.625 x VDD while the rest of the chip stays at nominal.
     let config = GpuConfig::default();
-    let model = CellFailureModel::finfet14();
-    let map = Arc::new(FaultMap::build(
-        config.l2.lines(),
-        &model,
-        NormVdd::LV_0_625,
-        FreqGhz::PEAK,
-        42,
-    ));
+    // The registry's default fault model is the paper's stuck-at curve;
+    // try `FaultModelConfig::parse("clustered:rows=4,corr=0.8")` for the
+    // row-correlated variant.
+    let model = default_registry()
+        .build(&FaultModelConfig::default())
+        .expect("stuck-at always builds");
+    let map = Arc::new(model.map(config.l2.lines(), NormVdd::LV_0_625, FreqGhz::PEAK, 42));
     let faulty_lines = (0..map.lines())
         .filter(|&l| map.data_fault_count(l) > 0)
         .count();

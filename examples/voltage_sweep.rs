@@ -11,8 +11,9 @@
 use std::sync::Arc;
 
 use killi_repro::core::scheme::{KilliConfig, KilliScheme};
-use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_repro::fault::cell_model::{FreqGhz, NormVdd};
 use killi_repro::fault::map::FaultMap;
+use killi_repro::fault::model::{default_registry, FaultModelConfig};
 use killi_repro::sim::cache::CacheGeometry;
 use killi_repro::sim::gpu::{GpuConfig, GpuSim};
 use killi_repro::workloads::{TraceParams, Workload};
@@ -29,7 +30,15 @@ fn main() {
         l2_banks: 8,
         ..GpuConfig::default()
     };
-    let model = CellFailureModel::finfet14();
+    // A voltage sweep needs a voltage-nested model (the registry's
+    // `stuck-at` and `clustered` qualify; `transient` declares it does not).
+    let model = default_registry()
+        .build(&FaultModelConfig::default())
+        .expect("stuck-at always builds");
+    assert!(
+        model.voltage_nested(),
+        "Vmin search needs nested fault sets"
+    );
     let params = TraceParams {
         cus: config.cus,
         ops_per_cu: 40_000,
@@ -53,13 +62,7 @@ fn main() {
     println!("  vdd    b'00   b'01   b'10   b'11   norm.time   SDCs");
     println!("------------------------------------------------------");
     for v in [0.675, 0.65, 0.625, 0.6, 0.575, 0.55] {
-        let map = Arc::new(FaultMap::build(
-            config.l2.lines(),
-            &model,
-            NormVdd(v),
-            FreqGhz::PEAK,
-            7,
-        ));
+        let map = Arc::new(model.map(config.l2.lines(), NormVdd(v), FreqGhz::PEAK, 7));
         let killi = KilliScheme::new(
             KilliConfig::with_ratio(64),
             Arc::clone(&map),

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use killi_repro::core::scheme::{KilliConfig, KilliScheme};
-use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
-use killi_repro::fault::map::FaultMap;
+use killi_repro::fault::cell_model::{FreqGhz, NormVdd};
+use killi_repro::fault::model::{default_registry, FaultModelConfig};
 use killi_repro::sim::cache::WritePolicy;
 use killi_repro::sim::gpu::{GpuConfig, GpuSim};
 use killi_repro::workloads::{TraceParams, Workload};
@@ -20,14 +20,10 @@ fn main() {
         write_policy: WritePolicy::WriteBack,
         ..GpuConfig::default()
     };
-    let model = CellFailureModel::finfet14();
-    let map = Arc::new(FaultMap::build(
-        config.l2.lines(),
-        &model,
-        NormVdd::LV_0_625,
-        FreqGhz::PEAK,
-        42,
-    ));
+    let model = default_registry()
+        .build(&FaultModelConfig::default())
+        .expect("stuck-at always builds");
+    let map = Arc::new(model.map(config.l2.lines(), NormVdd::LV_0_625, FreqGhz::PEAK, 42));
     let params = TraceParams::paper(100_000, 42);
 
     let run = |write_back_protection: bool| {

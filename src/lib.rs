@@ -18,11 +18,13 @@
 //! # Quickstart
 //!
 //! ```
-//! use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+//! use killi_repro::fault::cell_model::{FreqGhz, NormVdd};
 //! use killi_repro::fault::line_stats::LineFaultDistribution;
+//! use killi_repro::fault::model::{default_registry, FaultModelConfig};
 //!
-//! let model = CellFailureModel::finfet14();
-//! let dist = LineFaultDistribution::at(&model, NormVdd::LV_0_625, FreqGhz::PEAK);
+//! let model = default_registry().build(&FaultModelConfig::default()).unwrap();
+//! let cell = model.cell_model().expect("stuck-at exposes its curve");
+//! let dist = LineFaultDistribution::at(cell, NormVdd::LV_0_625, FreqGhz::PEAK);
 //! assert!(dist.zero + dist.one > 0.95);
 //! ```
 

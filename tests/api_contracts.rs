@@ -65,6 +65,27 @@ fn default_and_new_agree() {
             killi_repro::fault::cell_model::FailureKind::Combined,
         )
     );
+    // And the registry's stuck-at model is that same curve: the default
+    // fault-model config is the default cell model.
+    let registry = killi_repro::fault::model::default_registry();
+    let stuck_at = registry
+        .build(&killi_repro::fault::model::FaultModelConfig::default())
+        .expect("stuck-at always builds");
+    assert_eq!(
+        stuck_at
+            .cell_model()
+            .expect("stuck-at exposes its curve")
+            .p_cell_median(
+                killi_repro::fault::cell_model::NormVdd(0.6),
+                killi_repro::fault::cell_model::FreqGhz::PEAK,
+                killi_repro::fault::cell_model::FailureKind::Combined,
+            ),
+        CellFailureModel::default().p_cell_median(
+            killi_repro::fault::cell_model::NormVdd(0.6),
+            killi_repro::fault::cell_model::FreqGhz::PEAK,
+            killi_repro::fault::cell_model::FailureKind::Combined,
+        )
+    );
 }
 
 #[test]

@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use killi_repro::core::scheme::{KilliConfig, KilliScheme};
-use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_repro::fault::cell_model::{FreqGhz, NormVdd};
 use killi_repro::fault::map::FaultMap;
+use killi_repro::fault::model::{default_registry, FaultModelConfig};
 use killi_repro::fault::soft::SoftErrorInjector;
 use killi_repro::sim::cache::CacheGeometry;
 use killi_repro::sim::gpu::{GpuConfig, GpuSim};
@@ -27,16 +28,16 @@ fn small_gpu() -> GpuConfig {
     }
 }
 
+fn lv_map(lines: usize, vdd: f64, seed: u64) -> Arc<FaultMap> {
+    let model = default_registry()
+        .build(&FaultModelConfig::default())
+        .expect("stuck-at always builds");
+    Arc::new(model.map(lines, NormVdd(vdd), FreqGhz::PEAK, seed))
+}
+
 fn run_killi(vdd: f64, ratio: usize, workload: Workload, seed: u64) -> (SimStats, [u64; 4]) {
     let config = small_gpu();
-    let model = CellFailureModel::finfet14();
-    let map = Arc::new(FaultMap::build(
-        config.l2.lines(),
-        &model,
-        NormVdd(vdd),
-        FreqGhz::PEAK,
-        seed,
-    ));
+    let map = lv_map(config.l2.lines(), vdd, seed);
     let killi = KilliScheme::new(
         KilliConfig::with_ratio(ratio),
         Arc::clone(&map),
@@ -63,14 +64,7 @@ fn run_killi(vdd: f64, ratio: usize, workload: Workload, seed: u64) -> (SimStats
 #[test]
 fn killi_eliminates_nearly_all_corruption() {
     let config = small_gpu();
-    let model = CellFailureModel::finfet14();
-    let map = Arc::new(FaultMap::build(
-        config.l2.lines(),
-        &model,
-        NormVdd::LV_0_625,
-        FreqGhz::PEAK,
-        3,
-    ));
+    let map = lv_map(config.l2.lines(), NormVdd::LV_0_625.0, 3);
     let params = TraceParams {
         cus: config.cus,
         ops_per_cu: 30_000,
@@ -230,14 +224,7 @@ fn recorded_trace_replays_identically() {
         .expect("in-memory save");
     let replayed = killi_repro::sim::tracefile::load(&mut buf.as_slice()).expect("load");
 
-    let model = CellFailureModel::finfet14();
-    let map = Arc::new(FaultMap::build(
-        config.l2.lines(),
-        &model,
-        NormVdd::LV_0_625,
-        FreqGhz::PEAK,
-        31,
-    ));
+    let map = lv_map(config.l2.lines(), NormVdd::LV_0_625.0, 31);
     let run = |trace: killi_repro::sim::trace::Trace| {
         let killi = KilliScheme::new(
             KilliConfig::with_ratio(64),

@@ -1,0 +1,193 @@
+//! Cross-crate contract tests for the fault-model axis: every registered
+//! model must run end-to-end as a sweep dimension (CLI shorthand and JSON
+//! spelling alike), stamp its label into the `killi-sweep/v2` report and
+//! the `killi-obs/v1` trace, be deterministic per (seed, replicate, vdd),
+//! and either honor voltage nesting or explicitly declare it away.
+
+use killi_repro::bench::fault_models::{
+    build_fault_model, default_fault_registry, fault_model_label, stuck_at, FaultModelConfig,
+    STUCK_AT,
+};
+use killi_repro::bench::schemes::SchemeSpec;
+use killi_repro::bench::sweep::{run_sweep, SweepConfig};
+use killi_repro::fault::cell_model::{FreqGhz, NormVdd};
+use killi_repro::fault::map::FaultMap;
+use killi_repro::sim::cache::CacheGeometry;
+use killi_repro::sim::gpu::GpuConfig;
+use killi_repro::workloads::Workload;
+
+/// A one-cell sweep (1 scheme x 1 workload x 2 vdds x 2 replicates) that
+/// finishes fast enough to run once per registered model.
+fn one_cell_sweep(fault_model: FaultModelConfig) -> SweepConfig {
+    SweepConfig {
+        root_seed: 99,
+        replications: 2,
+        vdds: vec![0.625, 0.6],
+        schemes: vec![SchemeSpec::Killi(16).config()],
+        fault_model,
+        workloads: vec![Workload::Fft],
+        ops_per_cu: 800,
+        gpu: GpuConfig {
+            cus: 2,
+            l2: CacheGeometry {
+                size_bytes: 64 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l2_banks: 4,
+            mem_latency: 100,
+            ..GpuConfig::default()
+        },
+        threads: 2,
+        progress_every: 0,
+        trace_capacity: Some(64),
+    }
+}
+
+#[test]
+fn every_registered_model_sweeps_end_to_end_and_labels_the_report() {
+    let registry = default_fault_registry();
+    for descriptor in registry.descriptors() {
+        let config = FaultModelConfig::new(descriptor.name);
+        let label = fault_model_label(&config).expect("default config labels");
+        let report = run_sweep(&one_cell_sweep(config));
+        assert_eq!(report.fault_model, label, "{}", descriptor.name);
+        let json = report.to_json();
+        let trace = report.trace.as_deref().expect("tracing was on");
+        if descriptor.name == STUCK_AT {
+            // The default model keeps the report bytes golden-compatible:
+            // no fault_model key anywhere.
+            assert!(!json.contains("fault_model"), "stuck-at must stay silent");
+            assert!(!trace.contains("fault_model"));
+        } else {
+            assert!(
+                json.contains(&format!("\"fault_model\": {:?}", label)),
+                "{}: report JSON must carry the label ({json})",
+                descriptor.name
+            );
+            assert!(
+                trace.contains("\"fault_model\""),
+                "{}: obs trace must carry the label",
+                descriptor.name
+            );
+        }
+        // Every cell still ran: 1 baseline + 2 vdds x 1 scheme x 1 workload.
+        assert_eq!(report.cells.len(), 3, "{}", descriptor.name);
+    }
+}
+
+#[test]
+fn cli_and_json_spellings_sweep_identically() {
+    let shorthand = FaultModelConfig::parse("clustered:rows=8,corr=0.5").expect("shorthand");
+    let json =
+        FaultModelConfig::from_json(r#"{"name": "clustered", "params": {"corr": 0.5, "rows": 8}}"#)
+            .expect("json spelling");
+    let a = run_sweep(&one_cell_sweep(shorthand)).to_json();
+    let b = run_sweep(&one_cell_sweep(json)).to_json();
+    assert_eq!(a, b, "spellings of one model must produce one report");
+}
+
+#[test]
+fn sweep_reports_are_deterministic_per_model_across_thread_counts() {
+    for name in ["clustered", "transient"] {
+        let reference = run_sweep(&one_cell_sweep(FaultModelConfig::new(name))).to_json();
+        for threads in [1usize, 4] {
+            let mut config = one_cell_sweep(FaultModelConfig::new(name));
+            config.threads = threads;
+            assert_eq!(
+                run_sweep(&config).to_json(),
+                reference,
+                "{name} diverged at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn models_honor_nesting_or_explicitly_declare_otherwise() {
+    let registry = default_fault_registry();
+    for descriptor in registry.descriptors() {
+        let model = build_fault_model(&FaultModelConfig::new(descriptor.name)).expect("builds");
+        assert_eq!(
+            model.voltage_nested(),
+            descriptor.voltage_nested,
+            "{}: descriptor and model disagree on the nesting contract",
+            descriptor.name
+        );
+        if model.voltage_nested() {
+            let hi = model.map(256, NormVdd(0.65), FreqGhz::PEAK, 6);
+            let lo = model.map(256, NormVdd(0.6), FreqGhz::PEAK, 6);
+            for line in 0..256 {
+                for fault in hi.line(line) {
+                    assert!(
+                        lo.line(line).contains(fault),
+                        "{}: fault present at 0.65 missing at 0.6 (line {line})",
+                        descriptor.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn die_factorization_matches_per_voltage_maps_when_offered() {
+    let registry = default_fault_registry();
+    for descriptor in registry.descriptors() {
+        let model = build_fault_model(&FaultModelConfig::new(descriptor.name)).expect("builds");
+        let Some(die) = model.die(128, NormVdd(0.6), FreqGhz::PEAK, 17) else {
+            continue;
+        };
+        for vdd in [0.6, 0.625, 0.65] {
+            let from_die = die.map_at(NormVdd(vdd));
+            let direct = model.map(128, NormVdd(vdd), FreqGhz::PEAK, 17);
+            for line in 0..128 {
+                assert_eq!(
+                    from_die.line(line),
+                    direct.line(line),
+                    "{}: die factorization diverged at {vdd} (line {line})",
+                    descriptor.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn explicit_stuck_at_spelling_matches_the_default_report_bytes() {
+    // `--fault-model stuck-at` (any spelling) must be byte-identical to
+    // the implicit default — the property the golden sweep pins.
+    let implicit = run_sweep(&one_cell_sweep(stuck_at())).to_json();
+    let spelled = run_sweep(&one_cell_sweep(
+        FaultModelConfig::parse("stuck-at").expect("parses"),
+    ))
+    .to_json();
+    assert_eq!(implicit, spelled);
+    assert!(!implicit.contains("fault_model"));
+}
+
+#[test]
+fn non_default_models_change_the_fault_population() {
+    // The axis must actually do something: a clustered or transient sweep
+    // is not the stuck-at sweep with a different label.
+    let base = run_sweep(&one_cell_sweep(stuck_at()));
+    for spelling in ["clustered:corr=0.9", "transient:rate=0.01"] {
+        let other = run_sweep(&one_cell_sweep(
+            FaultModelConfig::parse(spelling).expect("parses"),
+        ));
+        assert_ne!(
+            base.to_json(),
+            other.to_json(),
+            "{spelling} produced the stuck-at report"
+        );
+    }
+}
+
+#[test]
+fn fault_free_maps_are_untouched_by_the_model_axis() {
+    // Baseline cells always run fault-free regardless of the model.
+    let map = FaultMap::fault_free(64);
+    for line in 0..64 {
+        assert!(map.line(line).is_empty());
+    }
+}

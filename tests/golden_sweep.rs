@@ -26,6 +26,9 @@ fn reference_sweep(threads: usize) -> SweepConfig {
         replications: 2,
         vdds: vec![0.65, 0.6],
         schemes: vec![SchemeSpec::Killi(16).config()],
+        // The registry-built stuck-at model must reproduce the pre-registry
+        // fault maps bit for bit — the golden bytes pin that.
+        fault_model: killi_repro::bench::fault_models::stuck_at(),
         workloads: vec![Workload::Fft, Workload::Hacc],
         ops_per_cu: 1200,
         gpu: GpuConfig {

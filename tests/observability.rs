@@ -7,8 +7,9 @@ use std::sync::Arc;
 
 use killi_repro::bench::runner::{run_cell, ObsConfig};
 use killi_repro::bench::schemes::SchemeSpec;
-use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
+use killi_repro::fault::cell_model::{FreqGhz, NormVdd};
 use killi_repro::fault::map::FaultMap;
+use killi_repro::fault::model::{default_registry, FaultModelConfig};
 use killi_repro::obs::{parse_json, Counter, OBS_SCHEMA};
 use killi_repro::sim::gpu::GpuConfig;
 use killi_repro::workloads::Workload;
@@ -26,14 +27,10 @@ fn small_gpu() -> GpuConfig {
 }
 
 fn lv_map(gpu: &GpuConfig) -> Arc<FaultMap> {
-    let model = CellFailureModel::finfet14();
-    Arc::new(FaultMap::build(
-        gpu.l2.lines(),
-        &model,
-        NormVdd(0.625),
-        FreqGhz::PEAK,
-        7,
-    ))
+    let model = default_registry()
+        .build(&FaultModelConfig::default())
+        .expect("stuck-at always builds");
+    Arc::new(model.map(gpu.l2.lines(), NormVdd(0.625), FreqGhz::PEAK, 7))
 }
 
 /// The observer effect must be zero: a recording sink may not change a

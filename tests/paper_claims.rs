@@ -4,8 +4,20 @@
 
 use killi_repro::fault::cell_model::{CellFailureModel, FreqGhz, NormVdd};
 use killi_repro::fault::line_stats::LineFaultDistribution;
+use killi_repro::fault::model::{default_registry, FaultModelConfig};
 use killi_repro::model::area::{checkbits, AreaModel};
 use killi_repro::model::coverage::coverage_at;
+
+/// The paper's cell-failure curve, reached the way everything else
+/// reaches it now: through the registry's `stuck-at` model.
+fn paper_cell_model() -> CellFailureModel {
+    default_registry()
+        .build(&FaultModelConfig::default())
+        .expect("stuck-at always builds")
+        .cell_model()
+        .expect("stuck-at exposes its analytic curve")
+        .clone()
+}
 
 #[test]
 fn abstract_area_claim_50_percent_reduction_vs_secded() {
@@ -26,17 +38,13 @@ fn table3_ecc_cache_line_is_41_bits() {
 #[test]
 fn section_1_claim_most_lines_have_fewer_than_two_failures() {
     // "the majority (>95%) of the cache lines have zero or one LV failure"
-    let d = LineFaultDistribution::at(
-        &CellFailureModel::finfet14(),
-        NormVdd::LV_0_625,
-        FreqGhz::PEAK,
-    );
+    let d = LineFaultDistribution::at(&paper_cell_model(), NormVdd::LV_0_625, FreqGhz::PEAK);
     assert!(d.zero + d.one > 0.95, "{d:?}");
 }
 
 #[test]
 fn figure6_claim_full_coverage_to_0_6_vdd() {
-    let model = CellFailureModel::finfet14();
+    let model = paper_cell_model();
     for v in [0.675, 0.65] {
         let c = coverage_at(&model, NormVdd(v));
         assert!(c.killi > 0.9999, "v={v}: {}", c.killi);
@@ -51,7 +59,7 @@ fn figure6_claim_full_coverage_to_0_6_vdd() {
 
 #[test]
 fn figure6_claim_only_killi_and_flair_survive_below_0_6() {
-    let model = CellFailureModel::finfet14();
+    let model = paper_cell_model();
     let c = coverage_at(&model, NormVdd(0.55));
     assert!(c.killi > c.secded);
     assert!(c.killi > c.dected);
@@ -66,7 +74,7 @@ fn figure6_claim_killi_coverage_independent_of_ecc_cache_size() {
     // the coverage model takes no ECC-cache parameter at all — the
     // detection capability lives entirely in the per-line parity + SECDED.
     // (A type-level fact; this test documents it.)
-    let model = CellFailureModel::finfet14();
+    let model = paper_cell_model();
     let c = coverage_at(&model, NormVdd(0.575));
     assert!(c.killi > 0.99);
 }
@@ -101,7 +109,7 @@ fn table4_claim_killi_with_6ec7ed_still_cheaper_than_secded_per_line() {
 
 #[test]
 fn table7_claims() {
-    let model = CellFailureModel::finfet14();
+    let model = paper_cell_model();
     let m = AreaModel::paper();
     // Capacity targets met by an 11-correcting code.
     let cap06 =
@@ -120,10 +128,11 @@ fn fault_monotonicity_enables_voltage_reclaim() {
     // "lines disabled at a particular LV may be reclaimed at higher
     // voltages": every fault present at the higher voltage is present at
     // the lower one, never vice versa.
-    use killi_repro::fault::map::FaultMap;
-    let model = CellFailureModel::finfet14();
-    let hi = FaultMap::build(1024, &model, NormVdd(0.625), FreqGhz::PEAK, 4);
-    let lo = FaultMap::build(1024, &model, NormVdd(0.575), FreqGhz::PEAK, 4);
+    let model = default_registry()
+        .build(&FaultModelConfig::default())
+        .expect("stuck-at always builds");
+    let hi = model.map(1024, NormVdd(0.625), FreqGhz::PEAK, 4);
+    let lo = model.map(1024, NormVdd(0.575), FreqGhz::PEAK, 4);
     for l in 0..1024 {
         for f in hi.line(l) {
             assert!(lo.line(l).contains(f));

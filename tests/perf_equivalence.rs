@@ -15,6 +15,7 @@ fn tiny_sweep(threads: usize, trace_capacity: Option<usize>) -> SweepConfig {
         replications: 2,
         vdds: vec![0.65, 0.6],
         schemes: vec![SchemeSpec::Killi(16).config()],
+        fault_model: killi_repro::bench::fault_models::stuck_at(),
         workloads: vec![Workload::Fft, Workload::Hacc],
         ops_per_cu: 1200,
         gpu: GpuConfig {

@@ -18,6 +18,7 @@ fn config(vdd: f64) -> MatrixConfig {
         ops_per_cu: 20_000,
         seed: 12,
         vdd: NormVdd(vdd),
+        fault_model: killi_bench::fault_models::stuck_at(),
         gpu: GpuConfig {
             cus: 2,
             l2: CacheGeometry {
