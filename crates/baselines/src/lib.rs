@@ -20,11 +20,21 @@ pub mod flair_online;
 pub mod msecc;
 pub mod per_line;
 
-use killi::registry::{BuildError, ParamSpec, ParamValue, SchemeDescriptor, SchemeRegistry};
+use killi::registry::{
+    BuildError, CellSpan, LineRule, ParamSpec, ParamValue, SchemeDescriptor, SchemeRegistry,
+};
 
 pub use flair_online::FlairOnline;
 pub use msecc::MsEcc;
 pub use per_line::{EccStrength, PerLineEcc};
+
+/// Per-line SECDED keeps any single-fault line (data + checkbit cells)
+/// in service; a second fault disables the line. FLAIR's steady state,
+/// the plain `secded` baseline and FLAIR-online all bin lines this way.
+const SECDED_RULE: LineRule = LineRule::Total {
+    span: CellSpan::DataSecded,
+    max_faults: 1,
+};
 
 /// Maps a constructor's `Err(String)` onto a typed geometry error.
 fn geometry_err(scheme: &'static str) -> impl Fn(String) -> BuildError {
@@ -52,6 +62,7 @@ pub fn register_baselines(registry: &mut SchemeRegistry) {
             .map_err(geometry_err("flair"))?;
             Ok(Box::new(scheme))
         },
+        admissibility: |_| SECDED_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -69,6 +80,7 @@ pub fn register_baselines(registry: &mut SchemeRegistry) {
             .map_err(geometry_err("secded"))?;
             Ok(Box::new(scheme))
         },
+        admissibility: |_| SECDED_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -85,6 +97,10 @@ pub fn register_baselines(registry: &mut SchemeRegistry) {
             )
             .map_err(geometry_err("dected"))?;
             Ok(Box::new(scheme))
+        },
+        admissibility: |_| LineRule::Total {
+            span: CellSpan::DataDected,
+            max_faults: 2,
         },
     });
 
@@ -112,6 +128,9 @@ pub fn register_baselines(registry: &mut SchemeRegistry) {
             .map_err(geometry_err("flair-online"))?;
             Ok(Box::new(scheme))
         },
+        // The online training cost changes runtime, not which lines
+        // FLAIR's SECDED can ultimately keep in service.
+        admissibility: |_| SECDED_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -139,6 +158,11 @@ pub fn register_baselines(registry: &mut SchemeRegistry) {
             )
             .map_err(geometry_err("ms-ecc"))?;
             Ok(Box::new(scheme))
+        },
+        // OLSC(m, t): m*m-cell data blocks, t corrections each.
+        admissibility: |p| LineRule::PerBlock {
+            block_cells: (p.u64("m") * p.u64("m")) as u32,
+            max_faults: p.u64("t") as u32,
         },
     });
 }

@@ -100,7 +100,7 @@ fn bench_simulation_matrix() {
 fn bench_sweep_engine() {
     let config = SweepConfig {
         replications: 2,
-        vdds: vec![0.625],
+        vdds: vec![0.65, 0.625],
         schemes: vec![SchemeSpec::Killi(64).config()],
         workloads: vec![Workload::Fft],
         ops_per_cu: 2_000,

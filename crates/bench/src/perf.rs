@@ -40,15 +40,31 @@ use crate::timing::measure;
 /// --check` validates a report against this list.
 pub const BENCHMARK_NAMES: [&str; 3] = ["fault_map_build", "single_simulation", "full_sweep"];
 
+/// An optional work-rate annotation on a benchmark, for suites whose
+/// headline number is a rate (dies/sec for the Vmin campaign) rather
+/// than wall time alone.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// What one unit of work is (e.g. `"dies_per_sec"`).
+    pub unit: &'static str,
+    /// Rate of the reference path.
+    pub before: f64,
+    /// Rate of the optimized path.
+    pub after: f64,
+}
+
 /// One before/after measurement.
 #[derive(Debug, Clone)]
 pub struct PerfBenchmark {
-    /// One of [`BENCHMARK_NAMES`].
+    /// One of [`BENCHMARK_NAMES`] (or a suite-specific name).
     pub name: &'static str,
     /// Median wall time of the reference path, nanoseconds.
     pub before_ns: u128,
     /// Median wall time of the optimized path, nanoseconds.
     pub after_ns: u128,
+    /// Optional work rate. Emission is gated on `Some`, so reports from
+    /// suites without one keep their exact historical bytes.
+    pub throughput: Option<Throughput>,
 }
 
 impl PerfBenchmark {
@@ -79,13 +95,21 @@ impl PerfReport {
         out.push_str(&format!("  \"ops_per_cu\": {},\n", self.ops_per_cu));
         out.push_str("  \"benchmarks\": [\n");
         for (i, b) in self.benchmarks.iter().enumerate() {
+            let throughput = match &b.throughput {
+                Some(t) => format!(
+                    ", \"throughput\": {{\"unit\": \"{}\", \"before\": {:.3}, \"after\": {:.3}}}",
+                    t.unit, t.before, t.after
+                ),
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"before_ns\": {}, \"after_ns\": {}, \
-                 \"speedup\": {:.3}}}{}\n",
+                 \"speedup\": {:.3}{}}}{}\n",
                 b.name,
                 b.before_ns,
                 b.after_ns,
                 b.speedup(),
+                throughput,
                 if i + 1 < self.benchmarks.len() {
                     ","
                 } else {
@@ -190,6 +214,7 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
         name: BENCHMARK_NAMES[0],
         before_ns,
         after_ns,
+        throughput: None,
     };
 
     // 2. One (workload, scheme, vdd) cell. The "after" side replays the
@@ -236,6 +261,7 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
         name: BENCHMARK_NAMES[1],
         before_ns,
         after_ns,
+        throughput: None,
     };
 
     // 3. The end-to-end sweep. Both sides emit byte-identical reports
@@ -246,6 +272,7 @@ pub fn run_perf_suite(quick: bool) -> PerfReport {
         name: BENCHMARK_NAMES[2],
         before_ns,
         after_ns,
+        throughput: None,
     };
 
     PerfReport {
@@ -270,6 +297,7 @@ mod tests {
                     name,
                     before_ns: 2_000,
                     after_ns: 1_000,
+                    throughput: None,
                 })
                 .collect(),
         };
@@ -299,6 +327,7 @@ mod tests {
             name: "x",
             before_ns: 10,
             after_ns: 0,
+            throughput: None,
         };
         assert_eq!(b.speedup(), 10.0);
     }

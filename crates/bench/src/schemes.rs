@@ -15,7 +15,7 @@ use killi::registry::{register_killi_schemes, SchemeRegistry};
 use killi_baselines::register_baselines;
 use killi_sim::protection::LineProtection;
 
-pub use killi::registry::{BuildCtx, BuildError, ParamValue, SchemeConfig};
+pub use killi::registry::{BuildCtx, BuildError, CellSpan, LineRule, ParamValue, SchemeConfig};
 
 /// The process-wide registry with every built-in scheme declared
 /// (Killi variants + baselines).
@@ -40,6 +40,12 @@ pub fn build_scheme(
 /// The display label of a declarative config via [`default_registry`].
 pub fn scheme_label(config: &SchemeConfig) -> Result<String, BuildError> {
     default_registry().label(config)
+}
+
+/// The static line-admissibility rule of a declarative config via
+/// [`default_registry`] (the Vmin campaign's binning predicate).
+pub fn scheme_admissibility(config: &SchemeConfig) -> Result<LineRule, BuildError> {
+    default_registry().admissibility(config)
 }
 
 /// Every protection configuration the experiments compare.

@@ -52,6 +52,11 @@ pub enum SweepConfigError {
     Scheme(BuildError),
     /// The fault-model config failed to resolve or build.
     FaultModel(FaultModelBuildError),
+    /// The voltage grid is degenerate (see [`validate_voltage_grid`]).
+    VoltageGrid {
+        /// What is wrong with the grid.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SweepConfigError {
@@ -59,8 +64,39 @@ impl std::fmt::Display for SweepConfigError {
         match self {
             SweepConfigError::Scheme(e) => write!(f, "{e}"),
             SweepConfigError::FaultModel(e) => write!(f, "{e}"),
+            SweepConfigError::VoltageGrid { reason } => {
+                write!(f, "invalid voltage grid: {reason}")
+            }
         }
     }
+}
+
+/// Checks that a voltage grid is usable as a sweep/search axis: at least
+/// two points, every point finite and inside `(0, 1.5]` (normalized VDD),
+/// and strictly monotonic in either direction. Anything else — a
+/// single-point "grid", duplicates, an unsorted zig-zag — produces
+/// degenerate sweeps and breaks the Vmin binary search's bisection
+/// invariant, so it is rejected up front with the offending reason.
+pub fn validate_voltage_grid(vdds: &[f64]) -> Result<(), String> {
+    if vdds.len() < 2 {
+        return Err(format!(
+            "need at least 2 grid points, got {} (a Vmin search cannot bisect a point)",
+            vdds.len()
+        ));
+    }
+    for &v in vdds {
+        if !v.is_finite() || v <= 0.0 || v > 1.5 {
+            return Err(format!("grid point {v:?} outside (0, 1.5]"));
+        }
+    }
+    let ascending = vdds.windows(2).all(|w| w[0] < w[1]);
+    let descending = vdds.windows(2).all(|w| w[0] > w[1]);
+    if !ascending && !descending {
+        return Err(format!(
+            "grid {vdds:?} is not strictly monotonic (sort it and drop duplicates)"
+        ));
+    }
+    Ok(())
 }
 
 impl std::error::Error for SweepConfigError {}
@@ -251,6 +287,8 @@ impl SweepConfig {
             build_scheme(scheme, &ctx)?;
         }
         build_fault_model(&self.fault_model)?;
+        validate_voltage_grid(&self.vdds)
+            .map_err(|reason| SweepConfigError::VoltageGrid { reason })?;
         Ok(())
     }
 
@@ -960,10 +998,42 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_degenerate_voltage_grids() {
+        let expect_grid_err = |vdds: Vec<f64>| {
+            let config = SweepConfig {
+                vdds,
+                ..tiny_sweep()
+            };
+            match config.validate() {
+                Err(SweepConfigError::VoltageGrid { reason }) => reason,
+                other => panic!("expected VoltageGrid error, got {other:?}"),
+            }
+        };
+        // Single-point grids cannot be bisected.
+        assert!(expect_grid_err(vec![0.625]).contains("2 grid points"));
+        assert!(expect_grid_err(Vec::new()).contains("2 grid points"));
+        // Duplicates and zig-zags are not monotonic.
+        assert!(expect_grid_err(vec![0.65, 0.65]).contains("monotonic"));
+        assert!(expect_grid_err(vec![0.6, 0.65, 0.625]).contains("monotonic"));
+        // Non-finite or out-of-range points are named in the error.
+        assert!(expect_grid_err(vec![0.65, f64::NAN]).contains("outside"));
+        assert!(expect_grid_err(vec![0.65, -0.6]).contains("outside"));
+        assert!(expect_grid_err(vec![0.65, 2.0]).contains("outside"));
+        // Either direction of strict monotonicity is fine.
+        for vdds in [vec![0.6, 0.625, 0.65], vec![0.65, 0.625, 0.6]] {
+            let config = SweepConfig {
+                vdds,
+                ..tiny_sweep()
+            };
+            assert!(config.validate().is_ok());
+        }
+    }
+
+    #[test]
     fn json_array_wraps_reports() {
         let r = run_sweep(&SweepConfig {
             replications: 1,
-            vdds: vec![0.625],
+            vdds: vec![0.65, 0.625],
             workloads: vec![Workload::Fft],
             ..tiny_sweep()
         });
@@ -1016,7 +1086,7 @@ mod tests {
     fn non_default_fault_model_runs_and_labels_the_report() {
         let config = SweepConfig {
             replications: 1,
-            vdds: vec![0.625],
+            vdds: vec![0.65, 0.625],
             workloads: vec![Workload::Fft],
             fault_model: FaultModelConfig::parse("transient:rate=0.001").unwrap(),
             ..tiny_sweep()
@@ -1027,7 +1097,7 @@ mod tests {
         // The default model stays out of the JSON (golden-report pin).
         let default_report = run_sweep(&SweepConfig {
             replications: 1,
-            vdds: vec![0.625],
+            vdds: vec![0.65, 0.625],
             workloads: vec![Workload::Fft],
             ..tiny_sweep()
         });
@@ -1049,7 +1119,7 @@ mod tests {
     fn run_sweep_validated_matches_run_sweep() {
         let config = SweepConfig {
             replications: 1,
-            vdds: vec![0.625],
+            vdds: vec![0.65, 0.625],
             workloads: vec![Workload::Fft],
             ..tiny_sweep()
         };
@@ -1063,7 +1133,7 @@ mod tests {
         // With zero faults a "protected" run and the baseline see the
         // same traffic; their cycle counts per replicate must agree.
         let mut config = tiny_sweep();
-        config.vdds = vec![0.95]; // no faults at near-nominal voltage
+        config.vdds = vec![0.96, 0.95]; // no faults at near-nominal voltage
         let report = run_sweep(&config);
         for w in ["fft", "hacc"] {
             let base = report.cell(1.0, "baseline", w).unwrap();

@@ -57,6 +57,8 @@ use killi_model::coverage::coverage_at;
 use killi_obs::{parse_json, JsonValue};
 use killi_serve::{Client, Server, ServerConfig};
 use killi_sim::gpu::{GpuConfig, GpuSim};
+use killi_vmin::bench::{run_vmin_bench, VMIN_BENCHMARK_NAMES};
+use killi_vmin::{run_campaign, SearchMode, VminConfig, DEFAULT_GRID};
 use killi_workloads::{TraceParams, Workload};
 
 const USAGE: &str = "\
@@ -93,14 +95,35 @@ USAGE:
                   reads a JSON list of {\"scheme\": ..., params} objects.
                   --fault-model picks the map generator (see
                   'killi fault-models'), e.g. transient:rate=0.001.
-  killi bench     [--quick] [--out results/BENCH_perf.json]
-                  Before/after performance suite for the sweep hot path
-                  (fault-map build, single simulation, full sweep) as
-                  killi-bench/v1 JSON. --quick runs a seconds-scale
-                  configuration for CI smoke.
+  killi vmin      [--dies 100] [--lines 4096] [--target 0.99] [--seed 42]
+                  [--vdds 0.55,0.575,0.6,0.625,0.65,0.675,0.7]
+                  [--schemes killi,flair|all] [--ratio 64]
+                  [--scheme-file FILE.json] [--fault-model stuck-at]
+                  [--threads N] [--progress 0] [--store FILE.kds]
+                  [--out results/VMIN.json]
+                  Fleet Vmin campaign: per-die minimum-voltage binning per
+                  scheme over the voltage grid (bisected for voltage-nested
+                  fault models, linear fallback otherwise), reported as
+                  killi-vmin/v1 JSON with Vmin CDFs, capacity-vs-vdd curves
+                  and yield tables. --schemes all bins every registered
+                  scheme. --store streams dies through a killi-diestore/v1
+                  file (built on first use, reused afterwards) so memory
+                  stays flat in the fleet size.
+  killi vmin      --check FILE.json
+                  Validates a killi-vmin/v1 report (schema + binning
+                  invariants).
+  killi bench     [--quick] [--suite perf|vmin] [--out FILE.json]
+                  Before/after performance suite as killi-bench/v1 JSON.
+                  Suite 'perf' (default, results/BENCH_perf.json) times the
+                  sweep hot path (fault-map build, single simulation, full
+                  sweep); suite 'vmin' (results/BENCH_vmin.json) times a
+                  fleet campaign with the exhaustive scan as 'before' and
+                  the nesting-aware search as 'after', recording dies/sec
+                  throughput. --quick runs a seconds-scale configuration
+                  for CI smoke.
   killi bench     --check FILE.json
-                  Validates a killi-bench/v1 report (schema + the three
-                  expected benchmark entries).
+                  Validates a killi-bench/v1 report (schema + the expected
+                  benchmark entries of whichever suite produced it).
   killi record    --out trace.ktrc [--workload fft] [--ops 100000] [--seed 42]
   killi replay    --in trace.ktrc  [--scheme killi] [--ratio 64] [--vdd 0.625]
                   [--fault-model stuck-at]
@@ -153,6 +176,7 @@ const COMMANDS: &[(&str, Command)] = &[
     ("fault-models", cmd_fault_models),
     ("simulate", cmd_simulate),
     ("sweep", cmd_sweep),
+    ("vmin", cmd_vmin),
     ("bench", cmd_bench),
     ("record", cmd_record),
     ("replay", cmd_replay),
@@ -407,7 +431,7 @@ fn cmd_fault_models(args: &Args) -> Result<(), ArgError> {
             // Every model must also round-trip through the service's
             // job-payload path, so `killi serve` can sweep it.
             let payload = format!(
-                "{{\"root_seed\":1,\"replications\":1,\"vdds\":[0.625],\
+                "{{\"root_seed\":1,\"replications\":1,\"vdds\":[0.65,0.625],\
                  \"schemes\":[\"killi\"],\"fault_model\":\"{}\",\
                  \"workloads\":[\"fft\"],\"ops_per_cu\":100}}",
                 d.name
@@ -473,7 +497,7 @@ fn cmd_schemes(args: &Args) -> Result<(), ArgError> {
             // job-payload path, so `killi serve` can run whatever the
             // registry can build.
             let payload = format!(
-                "{{\"root_seed\":1,\"replications\":1,\"vdds\":[0.625],\
+                "{{\"root_seed\":1,\"replications\":1,\"vdds\":[0.65,0.625],\
                  \"schemes\":[\"{}\"],\"workloads\":[\"fft\"],\"ops_per_cu\":100}}",
                 d.name
             );
@@ -707,24 +731,191 @@ fn cmd_sweep(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `killi vmin`: fleet-scale minimum-voltage campaign. Bins every die
+/// of a seed-derived fleet at its per-scheme Vmin over the voltage
+/// grid, optionally streaming the fleet through a `killi-diestore/v1`
+/// file, and writes the byte-deterministic `killi-vmin/v1` report.
+fn cmd_vmin(args: &Args) -> Result<(), ArgError> {
+    if args.has("check") {
+        let path = args.require("check", "vmin --check")?;
+        let text = std::fs::read_to_string(&path)?;
+        killi_vmin::check_report(&text).map_err(|message| ArgError::Io {
+            message: format!("{path}: {message}"),
+        })?;
+        println!("{path}: OK (killi-vmin/v1)");
+        return Ok(());
+    }
+    let dies: usize = args.get_num("dies", 100)?;
+    let lines: usize = args.get_num("lines", 4096)?;
+    let target = args.flag_f64("target", 0.99)?;
+    let seed = args.flag_u64("seed", 42)?;
+    let ratio: usize = args.get_num("ratio", 64)?;
+    let threads: usize = args
+        .get_num(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )?
+        .max(1);
+    let default_grid = DEFAULT_GRID
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let vdds = args.flag_f64_list("vdds", &default_grid)?;
+    // --scheme-file (declarative JSON) takes precedence over --schemes;
+    // the special value `all` bins every registered scheme at defaults.
+    let scheme_file = args.get_or("scheme-file", "");
+    let schemes = if !scheme_file.is_empty() {
+        let text = std::fs::read_to_string(&scheme_file).map_err(|e| ArgError::Io {
+            message: format!("{scheme_file}: {e}"),
+        })?;
+        SchemeConfig::list_from_json(&text).map_err(|e| ArgError::Io {
+            message: format!("{scheme_file}: {e}"),
+        })?
+    } else if args.get_or("schemes", "killi") == "all" {
+        default_registry()
+            .descriptors()
+            .iter()
+            .map(|d| SchemeConfig::new(d.name))
+            .collect()
+    } else {
+        args.flag_list("schemes", "killi", |s| parse_scheme(s, ratio))?
+    };
+    let store = args.get_or("store", "");
+    let out = args.get_or("out", "results/VMIN.json");
+
+    let config = VminConfig {
+        root_seed: seed,
+        dies,
+        lines,
+        target,
+        vdds,
+        schemes,
+        fault_model: parse_fault_model(&args.get_or("fault-model", "stuck-at"))?,
+        threads,
+        progress_every: args.get_num("progress", 0)?,
+        store: (!store.is_empty()).then(|| std::path::PathBuf::from(&store)),
+        search: SearchMode::Auto,
+    };
+    let validated = config.validated().map_err(|e| ArgError::Io {
+        message: e.to_string(),
+    })?;
+    let c = validated.config();
+    eprintln!(
+        "vmin: {} dies x {} schemes over {} grid points ({} lines/die, target {:.2}%) \
+         on {} threads",
+        c.dies,
+        c.schemes.len(),
+        c.vdds.len(),
+        c.lines,
+        c.target * 100.0,
+        c.threads,
+    );
+    let result = run_campaign(&validated).map_err(|e| ArgError::Io {
+        message: e.to_string(),
+    })?;
+    let report = &result.report;
+
+    let fmt_vdd = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+    let mut t = Table::new(vec![
+        "scheme",
+        "p50 vmin",
+        "p99 vmin",
+        "yield@min vdd",
+        "failed",
+    ]);
+    for bin in &report.schemes {
+        let p50 = bin.quantile_idx(0.50).map(|g| report.vdds[g]);
+        let p99 = bin.quantile_idx(0.99).map(|g| report.vdds[g]);
+        let yield_at_bottom = bin.hist[0] as f64 / report.dies as f64;
+        t.row(vec![
+            bin.scheme.clone(),
+            fmt_vdd(p50),
+            fmt_vdd(p99),
+            format!("{:.1}%", yield_at_bottom * 100.0),
+            bin.failed.to_string(),
+        ]);
+    }
+    println!(
+        "Vmin campaign (root seed {seed}, {dies} dies, fault model {}, {} search):\n{}",
+        report.fault_model,
+        if report.nested {
+            "bisection"
+        } else {
+            "linear-fallback"
+        },
+        t.render()
+    );
+    let m = &result.metrics;
+    use killi_obs::VminCounter;
+    println!(
+        "search: {} probes across {} bisections + {} linear scans; store: {} dies read, \
+         {} bytes written",
+        m.get(VminCounter::VoltageProbes),
+        m.get(VminCounter::BinarySearches),
+        m.get(VminCounter::LinearScans),
+        m.get(VminCounter::StoreDiesRead),
+        m.get(VminCounter::StoreBytesWritten),
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&out, report.to_json())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn cmd_bench(args: &Args) -> Result<(), ArgError> {
     if args.has("check") {
         return check_bench_report(&args.require("check", "bench --check")?);
     }
     let quick = args.has("quick");
-    let out = args.get_or("out", "results/BENCH_perf.json");
-    eprintln!(
-        "running the {} perf suite (before = unshared reference path, \
-         after = shared-artifact path) ...",
-        if quick { "quick" } else { "full" }
-    );
-    let report = run_perf_suite(quick);
+    let suite = args.get_or("suite", "perf");
+    let default_out = match suite.as_str() {
+        "vmin" => "results/BENCH_vmin.json",
+        _ => "results/BENCH_perf.json",
+    };
+    let out = args.get_or("out", default_out);
+    let report = match suite.as_str() {
+        "perf" => {
+            eprintln!(
+                "running the {} perf suite (before = unshared reference path, \
+                 after = shared-artifact path) ...",
+                if quick { "quick" } else { "full" }
+            );
+            run_perf_suite(quick)
+        }
+        "vmin" => {
+            eprintln!(
+                "running the {} vmin campaign suite (before = exhaustive scan, \
+                 after = nesting-aware search) ...",
+                if quick { "quick" } else { "full" }
+            );
+            run_vmin_bench(quick)
+        }
+        other => {
+            return Err(ArgError::invalid(
+                "suite",
+                other,
+                "expected 'perf' or 'vmin'".to_string(),
+            ))
+        }
+    };
     println!(
-        "sweep hot-path benchmarks ({}):\n{}",
+        "{} ({}):\n{}",
+        if suite == "vmin" {
+            "vmin campaign benchmarks"
+        } else {
+            "sweep hot-path benchmarks"
+        },
         if quick {
             "quick configuration"
         } else {
-            "default sweep configuration"
+            "full configuration"
         },
         report.summary_table().render()
     );
@@ -739,7 +930,9 @@ fn cmd_bench(args: &Args) -> Result<(), ArgError> {
 }
 
 /// Validates a `killi-bench/v1` report: parses, carries the schema, and
-/// has every expected benchmark entry with numeric timings.
+/// has every expected benchmark entry with numeric timings. Accepts
+/// both suites — the perf suite's name set and the vmin campaign's
+/// (detected by the presence of a `vmin_campaign` entry).
 fn check_bench_report(path: &str) -> Result<(), ArgError> {
     let bad = |message: String| ArgError::Io {
         message: format!("{path}: {message}"),
@@ -756,7 +949,15 @@ fn check_bench_report(path: &str) -> Result<(), ArgError> {
         .get("benchmarks")
         .and_then(|v| v.as_array())
         .ok_or_else(|| bad("report has no benchmarks array".to_string()))?;
-    for name in BENCHMARK_NAMES {
+    let is_vmin = benchmarks
+        .iter()
+        .any(|b| b.get("name").and_then(|v| v.as_str()) == Some(VMIN_BENCHMARK_NAMES[0]));
+    let expected: &[&str] = if is_vmin {
+        &VMIN_BENCHMARK_NAMES
+    } else {
+        &BENCHMARK_NAMES
+    };
+    for &name in expected {
         let entry = benchmarks
             .iter()
             .find(|b| b.get("name").and_then(|v| v.as_str()) == Some(name))

@@ -22,7 +22,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use killi_fault::map::FaultMap;
+use killi_fault::map::{layout, CellFault, FaultMap};
 use killi_obs::{escape_json, parse_json, JsonValue, Sink};
 use killi_sim::cache::CacheGeometry;
 use killi_sim::protection::{LineProtection, Unprotected};
@@ -373,6 +373,97 @@ impl ResolvedParams {
     }
 }
 
+/// Which cells of a line count against a scheme's fault budget (see
+/// [`killi_fault::map::layout`]): always the data payload, plus the
+/// in-array metadata cells the scheme actually stores there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellSpan {
+    /// Data payload only (no in-array metadata).
+    Data,
+    /// Data plus the 4 stable-mode segmented-parity cells.
+    DataParity4,
+    /// Data plus the 16 training-mode segmented-parity cells.
+    DataParity16,
+    /// Data plus the SECDED checkbit cells.
+    DataSecded,
+    /// Data plus the DEC-TED checkbit cells.
+    DataDected,
+}
+
+impl CellSpan {
+    /// Whether `cell` falls inside the span.
+    pub fn contains(self, cell: u16) -> bool {
+        if layout::DATA.contains(&cell) {
+            return true;
+        }
+        match self {
+            CellSpan::Data => false,
+            CellSpan::DataParity4 => layout::PARITY4.contains(&cell),
+            CellSpan::DataParity16 => layout::PARITY16.contains(&cell),
+            CellSpan::DataSecded => layout::SECDED.contains(&cell),
+            CellSpan::DataDected => layout::DECTED.contains(&cell),
+        }
+    }
+}
+
+/// The static line-admissibility rule a resolved scheme implies: given
+/// only a line's fault population, can the scheme keep the line in
+/// service? This is the MBIST-oracle binning predicate — what the paper's
+/// offline characterization (or Killi's converged runtime classification)
+/// would decide — and what the `killi vmin` campaign probes per grid
+/// voltage. It deliberately ignores runtime policy knobs (victim
+/// priority, training cadence): those shape *when* a line is learned,
+/// not *whether* it is ultimately usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineRule {
+    /// Admissible when at most `max_faults` cells across `span` are
+    /// faulty (per-line codes: parity classification, SECDED, DEC-TED).
+    Total {
+        /// Cells counting against the budget.
+        span: CellSpan,
+        /// Maximum tolerable faulty cells in the span.
+        max_faults: u32,
+    },
+    /// The data payload divides into `block_cells`-cell blocks, each
+    /// independently correcting up to `max_faults` faults (OLSC codes).
+    PerBlock {
+        /// Data cells per code block.
+        block_cells: u32,
+        /// Maximum tolerable faulty cells per block.
+        max_faults: u32,
+    },
+}
+
+impl LineRule {
+    /// Whether a line with this fault population stays usable.
+    pub fn admits(&self, faults: &[CellFault]) -> bool {
+        match *self {
+            LineRule::Total { span, max_faults } => {
+                let count = faults.iter().filter(|f| span.contains(f.cell)).count();
+                count <= max_faults as usize
+            }
+            LineRule::PerBlock {
+                block_cells,
+                max_faults,
+            } => {
+                let block = |c: u16| c as u32 / block_cells.max(1);
+                for f in faults.iter().filter(|f| layout::DATA.contains(&f.cell)) {
+                    let in_block = faults
+                        .iter()
+                        .filter(|g| {
+                            layout::DATA.contains(&g.cell) && block(g.cell) == block(f.cell)
+                        })
+                        .count();
+                    if in_block > max_faults as usize {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
 /// Signature of a descriptor's build function: resolved parameters plus a
 /// build context yield a scheme or a typed error.
 pub type BuildFn = fn(&ResolvedParams, &BuildCtx) -> Result<Box<dyn LineProtection>, BuildError>;
@@ -392,6 +483,9 @@ pub struct SchemeDescriptor {
     /// Builds the scheme (without sink attachment; the registry attaches
     /// the context's sink after a successful build).
     pub build: BuildFn,
+    /// The static line-admissibility rule of a resolved config (the
+    /// binning predicate the Vmin campaign evaluates per grid voltage).
+    pub admissibility: fn(&ResolvedParams) -> LineRule,
 }
 
 impl fmt::Debug for SchemeDescriptor {
@@ -523,6 +617,13 @@ impl SchemeRegistry {
         Ok(self.canonicalize(config)?.to_json())
     }
 
+    /// The static line-admissibility rule of a config (see [`LineRule`]).
+    pub fn admissibility(&self, config: &SchemeConfig) -> Result<LineRule, BuildError> {
+        let resolved = self.resolve(config)?;
+        let descriptor = self.descriptor(&config.name).expect("resolved above");
+        Ok((descriptor.admissibility)(&resolved))
+    }
+
     /// Builds a config into a live scheme with the context's sink attached.
     pub fn build(
         &self,
@@ -641,6 +742,14 @@ fn killi_label(prefix: &str, p: &ResolvedParams) -> String {
     }
 }
 
+/// The Killi steady state: segmented parity classifies lines over the
+/// data payload plus the 4 stable-mode parity cells, and the decoupled
+/// ECC cache's SECDED keeps any single-fault line usable.
+const KILLI_RULE: LineRule = LineRule::Total {
+    span: CellSpan::DataParity4,
+    max_faults: 1,
+};
+
 /// Registers the unprotected baseline and the Killi family (the §4 design,
 /// its §4.4 ablations, and the §5.2/§5.5/§5.6.2 extensions).
 pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
@@ -650,6 +759,10 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
         params: Vec::new(),
         label: |_| "baseline".to_string(),
         build: |_, _| Ok(Box::new(Unprotected::new())),
+        admissibility: |_| LineRule::Total {
+            span: CellSpan::Data,
+            max_faults: 0,
+        },
     });
 
     registry.register(SchemeDescriptor {
@@ -696,6 +809,10 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
             config.coordinated_promotion = p.bool("coordinated_promotion");
             build_killi_scheme(p, config, ctx)
         },
+        // §4.4's policy switches change *when* lines are learned, never
+        // which lines are ultimately usable: SECDED in the ECC cache keeps
+        // any 1-fault line in service.
+        admissibility: |_| KILLI_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -708,6 +825,7 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
             config.victim_priority = false;
             build_killi_scheme(p, config, ctx)
         },
+        admissibility: |_| KILLI_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -720,6 +838,7 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
             config.eviction_training = false;
             build_killi_scheme(p, config, ctx)
         },
+        admissibility: |_| KILLI_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -732,6 +851,7 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
             config.coordinated_promotion = false;
             build_killi_scheme(p, config, ctx)
         },
+        admissibility: |_| KILLI_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -743,6 +863,10 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
             let mut config = killi_config(p, KilliConfig::with_ratio(1), ctx.geometry.lines())?;
             config.dected_upgrade = true;
             build_killi_scheme(p, config, ctx)
+        },
+        admissibility: |_| LineRule::Total {
+            span: CellSpan::DataParity4,
+            max_faults: 2,
         },
     });
 
@@ -765,6 +889,7 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
             config.inverted_check_penalty = p.u64("penalty") as u32;
             build_killi_scheme(p, config, ctx)
         },
+        admissibility: |_| KILLI_RULE,
     });
 
     registry.register(SchemeDescriptor {
@@ -776,6 +901,11 @@ pub fn register_killi_schemes(registry: &mut SchemeRegistry) {
             let mut config = killi_config(p, KilliConfig::with_olsc(1), ctx.geometry.lines())?;
             config.olsc_mode = true;
             build_killi_scheme(p, config, ctx)
+        },
+        // OLSC(8, 2) payloads: 64-cell data blocks, 2 corrections each.
+        admissibility: |_| LineRule::PerBlock {
+            block_cells: 64,
+            max_faults: 2,
         },
     });
 }
@@ -980,6 +1110,83 @@ mod tests {
             reg.canonicalize(&SchemeConfig::new("killi").with("rato", ParamValue::U64(1))),
             Err(BuildError::UnknownParam { .. })
         ));
+    }
+
+    #[test]
+    fn admissibility_rules_match_the_scheme_semantics() {
+        let reg = registry();
+        let rule = |s: &str| reg.admissibility(&SchemeConfig::parse(s).unwrap()).unwrap();
+        assert_eq!(
+            rule("baseline"),
+            LineRule::Total {
+                span: CellSpan::Data,
+                max_faults: 0
+            }
+        );
+        // Every runtime-policy ablation shares the steady-state rule.
+        for s in [
+            "killi",
+            "killi:ratio=16",
+            "killi-no-victim-prio",
+            "killi-no-evict-train",
+            "killi-no-promotion",
+            "killi-invchk",
+        ] {
+            assert_eq!(rule(s), KILLI_RULE, "{s}");
+        }
+        assert_eq!(
+            rule("killi-dected"),
+            LineRule::Total {
+                span: CellSpan::DataParity4,
+                max_faults: 2
+            }
+        );
+        assert_eq!(
+            rule("killi-olsc"),
+            LineRule::PerBlock {
+                block_cells: 64,
+                max_faults: 2
+            }
+        );
+        assert!(matches!(
+            reg.admissibility(&SchemeConfig::new("frobnicate")),
+            Err(BuildError::UnknownScheme { .. })
+        ));
+    }
+
+    #[test]
+    fn line_rules_admit_exactly_the_tolerable_fault_populations() {
+        let fault = |cell: u16| CellFault { cell, stuck: true };
+        let killi = KILLI_RULE;
+        assert!(killi.admits(&[]));
+        assert!(killi.admits(&[fault(3)]));
+        assert!(killi.admits(&[fault(512)])); // stable-mode parity cell
+        assert!(!killi.admits(&[fault(3), fault(512)]));
+        // Cells outside the span never count: the 16-bit training parity
+        // tail and the SECDED/DECTED checkbit regions are not stored by
+        // the stable-mode Killi line.
+        assert!(killi.admits(&[fault(1), fault(520), fault(530), fault(545)]));
+
+        let baseline = LineRule::Total {
+            span: CellSpan::Data,
+            max_faults: 0,
+        };
+        assert!(baseline.admits(&[fault(516)]));
+        assert!(!baseline.admits(&[fault(0)]));
+
+        let olsc = LineRule::PerBlock {
+            block_cells: 64,
+            max_faults: 2,
+        };
+        // Two faults per block are fine, even in every block...
+        let spread: Vec<CellFault> = (0..8)
+            .flat_map(|b| [fault(b * 64), fault(b * 64 + 1)])
+            .collect();
+        assert!(olsc.admits(&spread));
+        // ...but a third in any one block disables the line.
+        assert!(!olsc.admits(&[fault(0), fault(1), fault(63)]));
+        // Non-data cells are outside every OLSC block.
+        assert!(olsc.admits(&[fault(0), fault(1), fault(512), fault(513)]));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod params;
 pub mod serve;
 pub mod sink;
 pub mod trace;
+pub mod vmin;
 
 pub use event::KilliEvent;
 pub use json::{escape as escape_json, parse as parse_json, JsonError, JsonValue};
@@ -31,6 +32,7 @@ pub use params::ParamValue;
 pub use serve::{ServeCounter, ServeEvent, ServeMetrics};
 pub use sink::Sink;
 pub use trace::TraceBuffer;
+pub use vmin::{VminCounter, VminEvent, VminMetrics};
 
 /// Schema tag stamped on the header line of every exported trace.
 pub const OBS_SCHEMA: &str = "killi-obs/v1";

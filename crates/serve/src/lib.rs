@@ -30,4 +30,4 @@ pub mod spec;
 
 pub use client::Client;
 pub use server::{Handle, Server, ServerConfig};
-pub use spec::{job_id_for, parse_job_spec, SpecError};
+pub use spec::{job_id_for, parse_job_spec, JobSpec, SpecError};

@@ -19,11 +19,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use killi_bench::sweep::{run_sweep_validated, ValidatedSweepConfig};
 use killi_obs::serve::{format_job_id, parse_job_id, JobId, ServeEvent, ServeMetrics};
 
 use crate::http::{error_body, read_request, HttpError, Request, Response};
-use crate::spec::{job_id_for, parse_job_spec};
+use crate::spec::{job_id_for, parse_job_spec, JobSpec};
 
 /// Tuning of one server instance.
 #[derive(Debug, Clone)]
@@ -87,10 +86,10 @@ struct JobRecord {
     /// Canonical config JSON — kept to detect the astronomically
     /// unlikely id collision and to re-run after cache eviction.
     canonical: String,
-    config: ValidatedSweepConfig,
+    config: JobSpec,
     state: JobState,
-    /// The `killi-sweep/v2` report bytes, exactly as `run_sweep` emits
-    /// them; `None` until done or after eviction.
+    /// The report bytes (`killi-sweep/v2` or `killi-vmin/v1`), exactly
+    /// as the engine emits them; `None` until done or after eviction.
     report: Option<Arc<str>>,
     error: Option<String>,
 }
@@ -303,11 +302,9 @@ fn worker_loop(shared: &Shared, worker: usize) {
             std::thread::sleep(Duration::from_millis(shared.config.job_start_delay_ms));
         }
 
-        // A panicking sweep (a bug, not a workload) must not take the
+        // A panicking job (a bug, not a workload) must not take the
         // worker down with it; the job lands as Failed instead.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_sweep_validated(&config).to_json()
-        }));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| config.run()));
 
         let mut inner = shared.state.lock().unwrap();
         inner.running -= 1;

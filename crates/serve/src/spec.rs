@@ -1,19 +1,33 @@
-//! The job payload: `SweepConfig` as JSON, parsed with the in-repo
-//! `killi-obs` parser and validated/canonicalized through
-//! [`SweepConfig::validated`] before it ever reaches the queue.
+//! The job payload: a sweep or Vmin-campaign config as JSON, parsed
+//! with the in-repo `killi-obs` parser and validated/canonicalized
+//! through [`SweepConfig::validated`] / `VminConfig::validated` before
+//! it ever reaches the queue.
 //!
-//! Required fields: `root_seed`, `replications`, `vdds`, `schemes`,
-//! `workloads`, `ops_per_cu`. Schemes accept both spellings the
-//! registry knows — objects (`{"name": "killi", "params": {...}}`) and
-//! CLI shorthand strings (`"killi:ratio=16"`). The optional
+//! The optional top-level `mode` key selects the job kind: absent or
+//! `"sweep"` is a Monte-Carlo sweep, `"vmin"` a fleet Vmin campaign.
+//!
+//! Sweep fields: `root_seed`, `replications`, `vdds`, `schemes`,
+//! `workloads`, `ops_per_cu` (required). Schemes accept both spellings
+//! the registry knows — objects (`{"name": "killi", "params": {...}}`)
+//! and CLI shorthand strings (`"killi:ratio=16"`). The optional
 //! `fault_model` takes the same two spellings against the fault-model
 //! registry (`"clustered:rows=4"` or `{"name": "clustered", ...}`) and
 //! defaults to the paper's `stuck-at`; different models canonicalize to
 //! different cache keys. The optional `gpu` object overrides the
 //! default hardware point with the sweep-facing knobs (`cus`, `l2_kb`,
-//! `l2_ways`, `line_bytes`, `l2_banks`, `mem_latency`). `threads`
-//! tunes execution only — it is excluded from the canonical JSON, so
-//! it never splits the result cache.
+//! `l2_ways`, `line_bytes`, `l2_banks`, `mem_latency`).
+//!
+//! Vmin fields: `root_seed`, `dies`, `lines`, `vdds`, `schemes`
+//! (required), plus optional `target` (default 0.99) and `fault_model`.
+//! Campaigns always run storeless on the server: the die store is a
+//! local-workflow artifact, and the report is byte-identical either
+//! way, so a job never names filesystem paths.
+//!
+//! In both kinds `threads` tunes execution only — it is excluded from
+//! the canonical JSON, so it never splits the result cache. The two
+//! canonical schemas differ (`killi-sweep-config/v1` vs
+//! `killi-vmin-config/v1`), so a sweep and a campaign can never collide
+//! on one job id.
 //!
 //! Unknown keys are errors, not warnings: a typo like `"replciations"`
 //! must fail the submission instead of silently running a different
@@ -21,11 +35,12 @@
 
 use killi_bench::fault_models::FaultModelConfig;
 use killi_bench::schemes::SchemeConfig;
-use killi_bench::sweep::{SweepConfig, ValidatedSweepConfig};
+use killi_bench::sweep::{run_sweep_validated, SweepConfig, ValidatedSweepConfig};
 use killi_fault::rng::splitmix64;
 use killi_obs::serve::JobId;
 use killi_obs::{parse_json, JsonValue};
 use killi_sim::gpu::GpuConfig;
+use killi_vmin::{run_campaign, SearchMode, ValidatedVminConfig, VminConfig};
 use killi_workloads::Workload;
 
 /// Why a job payload was rejected (always a 400 on the wire).
@@ -49,8 +64,9 @@ fn spec_err(message: impl Into<String>) -> SpecError {
     }
 }
 
-/// Top-level keys the payload may carry.
-const TOP_KEYS: [&str; 9] = [
+/// Top-level keys a sweep payload may carry.
+const SWEEP_KEYS: [&str; 10] = [
+    "mode",
     "root_seed",
     "replications",
     "vdds",
@@ -59,6 +75,19 @@ const TOP_KEYS: [&str; 9] = [
     "workloads",
     "ops_per_cu",
     "gpu",
+    "threads",
+];
+
+/// Top-level keys a vmin payload may carry.
+const VMIN_KEYS: [&str; 9] = [
+    "mode",
+    "root_seed",
+    "dies",
+    "lines",
+    "target",
+    "vdds",
+    "schemes",
+    "fault_model",
     "threads",
 ];
 
@@ -207,25 +236,127 @@ fn parse_vdds(v: &JsonValue) -> Result<Vec<f64>, SpecError> {
         .collect()
 }
 
-/// Parses and validates a job payload into a ready-to-run config.
-pub fn parse_job_spec(body: &[u8]) -> Result<ValidatedSweepConfig, SpecError> {
+/// A validated, ready-to-run job of either kind.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A Monte-Carlo sweep (`mode` absent or `"sweep"`).
+    Sweep(ValidatedSweepConfig),
+    /// A fleet Vmin campaign (`mode: "vmin"`).
+    Vmin(ValidatedVminConfig),
+}
+
+impl JobSpec {
+    /// The canonical config JSON the job is content-addressed by. The
+    /// two kinds carry different schema tags, so their key spaces never
+    /// overlap.
+    pub fn canonical_json(&self) -> String {
+        match self {
+            JobSpec::Sweep(c) => c.canonical_json(),
+            JobSpec::Vmin(c) => c.canonical_json(),
+        }
+    }
+
+    /// Executes the job and returns its report bytes (`killi-sweep/v2`
+    /// or `killi-vmin/v1`).
+    pub fn run(&self) -> String {
+        match self {
+            JobSpec::Sweep(c) => run_sweep_validated(c).to_json(),
+            // Server-side campaigns are storeless, and a storeless
+            // campaign has no failure path.
+            JobSpec::Vmin(c) => run_campaign(c)
+                .expect("storeless campaigns cannot fail")
+                .report
+                .to_json(),
+        }
+    }
+}
+
+/// Parses and validates a job payload into a ready-to-run spec.
+pub fn parse_job_spec(body: &[u8]) -> Result<JobSpec, SpecError> {
     let text = std::str::from_utf8(body).map_err(|_| spec_err("body is not UTF-8"))?;
     let v = parse_json(text).map_err(|e| spec_err(e.to_string()))?;
     let JsonValue::Object(entries) = &v else {
         return Err(spec_err("job payload must be a JSON object"));
     };
-    check_keys(entries, &TOP_KEYS, "job")?;
+    match v.get("mode") {
+        None => parse_sweep_spec(entries, &v).map(JobSpec::Sweep),
+        Some(mode) => match mode.as_str() {
+            Some("sweep") => parse_sweep_spec(entries, &v).map(JobSpec::Sweep),
+            Some("vmin") => parse_vmin_spec(entries, &v).map(JobSpec::Vmin),
+            Some(other) => Err(spec_err(format!(
+                "unknown mode `{other}` (expected `sweep` or `vmin`)"
+            ))),
+            None => Err(spec_err("`mode` must be a string")),
+        },
+    }
+}
 
-    let replications = require_u64(&v, "replications")?;
+fn parse_threads(v: &JsonValue) -> Result<usize, SpecError> {
+    match v.get("threads") {
+        // Execution-only knob: absent, use every core (the report is
+        // byte-identical either way, so the cache key ignores it).
+        None => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)),
+        Some(t) => Ok(t
+            .as_u64()
+            .ok_or_else(|| spec_err("`threads` must be a non-negative integer"))?
+            as usize),
+    }
+}
+
+fn parse_vmin_spec(
+    entries: &[(String, JsonValue)],
+    v: &JsonValue,
+) -> Result<ValidatedVminConfig, SpecError> {
+    check_keys(entries, &VMIN_KEYS, "vmin job")?;
+    let target = match v.get("target") {
+        None => 0.99,
+        Some(t) => t
+            .as_f64()
+            .ok_or_else(|| spec_err("`target` must be a number"))?,
+    };
+    let config = VminConfig {
+        root_seed: require_u64(v, "root_seed")?,
+        dies: require_u64(v, "dies")? as usize,
+        lines: require_u64(v, "lines")? as usize,
+        target,
+        vdds: parse_vdds(
+            v.get("vdds")
+                .ok_or_else(|| spec_err("missing required field `vdds`"))?,
+        )?,
+        schemes: parse_schemes(
+            v.get("schemes")
+                .ok_or_else(|| spec_err("missing required field `schemes`"))?,
+        )?,
+        fault_model: match v.get("fault_model") {
+            None => FaultModelConfig::default(),
+            Some(fm) => parse_fault_model(fm)?,
+        },
+        threads: parse_threads(v)?,
+        progress_every: 0,
+        store: None,
+        search: SearchMode::Auto,
+    };
+    config.validated().map_err(|e| spec_err(e.to_string()))
+}
+
+fn parse_sweep_spec(
+    entries: &[(String, JsonValue)],
+    v: &JsonValue,
+) -> Result<ValidatedSweepConfig, SpecError> {
+    check_keys(entries, &SWEEP_KEYS, "job")?;
+
+    let replications = require_u64(v, "replications")?;
     if replications == 0 {
         return Err(spec_err("`replications` must be at least 1"));
     }
-    let ops_per_cu = require_u64(&v, "ops_per_cu")?;
+    let ops_per_cu = require_u64(v, "ops_per_cu")?;
     if ops_per_cu == 0 {
         return Err(spec_err("`ops_per_cu` must be at least 1"));
     }
     let config = SweepConfig {
-        root_seed: require_u64(&v, "root_seed")?,
+        root_seed: require_u64(v, "root_seed")?,
         replications: replications as usize,
         vdds: parse_vdds(
             v.get("vdds")
@@ -265,12 +396,13 @@ pub fn parse_job_spec(body: &[u8]) -> Result<ValidatedSweepConfig, SpecError> {
     config.validated().map_err(|e| spec_err(e.to_string()))
 }
 
-/// The content address of a validated config: two independent splitmix64
+/// The content address of a validated job: two independent splitmix64
 /// folds over the canonical JSON bytes, packed into a 128-bit id. Equal
-/// sweeps (any spelling) hash equal; the odds of two *different*
+/// jobs (any spelling) hash equal; the odds of two *different*
 /// canonical strings colliding are 2^-128-ish, and the server still
-/// stores the canonical string to detect that.
-pub fn job_id_for(config: &ValidatedSweepConfig) -> JobId {
+/// stores the canonical string to detect that. The two job kinds carry
+/// different canonical schema tags, so they can never share an id.
+pub fn job_id_for(config: &JobSpec) -> JobId {
     let canonical = config.canonical_json();
     let mut lo = splitmix64(0x9e37_79b9_7f4a_7c15);
     let mut hi = splitmix64(0xd1b5_4a32_d192_ed03);
@@ -304,7 +436,9 @@ mod tests {
 
     #[test]
     fn parses_the_golden_job() {
-        let validated = parse_job_spec(GOLDEN.as_bytes()).unwrap();
+        let JobSpec::Sweep(validated) = parse_job_spec(GOLDEN.as_bytes()).unwrap() else {
+            panic!("mode-less payloads parse as sweeps");
+        };
         let c = validated.config();
         assert_eq!(c.root_seed, 2024);
         assert_eq!(c.replications, 2);
@@ -419,5 +553,91 @@ mod tests {
         }
         // Invalid UTF-8 bodies too.
         assert!(parse_job_spec(&[0x7b, 0xff, 0xfe, 0x7d]).is_err());
+    }
+
+    const VMIN_GOLDEN: &str = r#"{
+        "mode": "vmin",
+        "root_seed": 2024,
+        "dies": 16,
+        "lines": 512,
+        "target": 0.99,
+        "vdds": [0.55, 0.6, 0.65],
+        "schemes": ["killi:ratio=16", "flair"]
+    }"#;
+
+    #[test]
+    fn parses_vmin_jobs_and_keys_them_apart_from_sweeps() {
+        let JobSpec::Vmin(validated) = parse_job_spec(VMIN_GOLDEN.as_bytes()).unwrap() else {
+            panic!("mode vmin must parse as a campaign");
+        };
+        let c = validated.config();
+        assert_eq!(c.root_seed, 2024);
+        assert_eq!(c.dies, 16);
+        assert_eq!(c.lines, 512);
+        assert_eq!(c.vdds, [0.55, 0.6, 0.65]);
+        assert_eq!(c.schemes.len(), 2);
+        // mode: "sweep" spelled out matches the implicit default.
+        let explicit = GOLDEN.replace(
+            "\"root_seed\": 2024,",
+            "\"mode\": \"sweep\", \"root_seed\": 2024,",
+        );
+        assert_eq!(
+            job_id_for(&parse_job_spec(explicit.as_bytes()).unwrap()),
+            job_id_for(&parse_job_spec(GOLDEN.as_bytes()).unwrap())
+        );
+        // Sweep and vmin ids live in different key spaces.
+        assert_ne!(
+            job_id_for(&parse_job_spec(VMIN_GOLDEN.as_bytes()).unwrap()),
+            job_id_for(&parse_job_spec(GOLDEN.as_bytes()).unwrap())
+        );
+        // Threads is execution-only for campaigns too.
+        let threaded =
+            VMIN_GOLDEN.replace("\"mode\": \"vmin\",", "\"mode\": \"vmin\", \"threads\": 3,");
+        assert_eq!(
+            job_id_for(&parse_job_spec(threaded.as_bytes()).unwrap()),
+            job_id_for(&parse_job_spec(VMIN_GOLDEN.as_bytes()).unwrap())
+        );
+    }
+
+    #[test]
+    fn vmin_payload_errors_are_typed() {
+        for (body, what) in [
+            (
+                VMIN_GOLDEN.replace("\"dies\": 16,", "").as_str(),
+                "missing dies",
+            ),
+            (
+                VMIN_GOLDEN
+                    .replace("\"target\": 0.99", "\"replications\": 2")
+                    .as_str(),
+                "sweep-only key in a vmin job",
+            ),
+            (
+                VMIN_GOLDEN.replace("[0.55, 0.6, 0.65]", "[0.625]").as_str(),
+                "single-point grid",
+            ),
+            (
+                VMIN_GOLDEN.replace("\"vmin\"", "\"vmax\"").as_str(),
+                "unknown mode",
+            ),
+            (
+                VMIN_GOLDEN
+                    .replace("\"target\": 0.99", "\"target\": 1.5")
+                    .as_str(),
+                "target out of range",
+            ),
+        ] {
+            assert!(
+                parse_job_spec(body.as_bytes()).is_err(),
+                "{what} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn vmin_jobs_run_to_a_checkable_report() {
+        let spec = parse_job_spec(VMIN_GOLDEN.as_bytes()).unwrap();
+        let report = spec.run();
+        killi_vmin::check_report(&report).expect("service-run campaign report validates");
     }
 }

@@ -1,0 +1,114 @@
+//! The `killi bench --suite vmin` campaign benchmark.
+//!
+//! One macro-benchmark, `vmin_campaign`: a full fleet campaign with the
+//! exhaustive linear-scan oracle ([`SearchMode::Exhaustive`]) as the
+//! "before" side against the production nesting-aware search
+//! ([`SearchMode::Auto`]) as "after". Both sides bin every die at the
+//! same Vmin (the property the search engine's tests pin); only probe
+//! counts and wall time differ. The report reuses the `killi-bench/v1`
+//! schema with a [`Throughput`] annotation carrying the headline
+//! number — campaign dies/sec — which CI records into
+//! `results/BENCH_vmin.json`.
+
+use killi_bench::perf::{PerfBenchmark, PerfReport, Throughput};
+use killi_bench::timing::measure;
+
+use crate::campaign::{run_campaign, ValidatedVminConfig, VminConfig, DEFAULT_GRID};
+use crate::search::SearchMode;
+
+/// The benchmark names of the vmin suite, in emission order. `killi
+/// bench --check` accepts this set as an alternative to the perf
+/// suite's.
+pub const VMIN_BENCHMARK_NAMES: [&str; 1] = ["vmin_campaign"];
+
+fn bench_config(quick: bool, search: SearchMode) -> ValidatedVminConfig {
+    VminConfig {
+        root_seed: 42,
+        dies: if quick { 64 } else { 512 },
+        lines: if quick { 1024 } else { 4096 },
+        target: 0.99,
+        vdds: DEFAULT_GRID.to_vec(),
+        search,
+        ..VminConfig::default()
+    }
+    .validated()
+    .expect("bench config is valid")
+}
+
+/// Runs the campaign benchmark and returns the `killi-bench/v1` report.
+pub fn run_vmin_bench(quick: bool) -> PerfReport {
+    let samples = if quick { 1 } else { 3 };
+    let exhaustive = bench_config(quick, SearchMode::Exhaustive);
+    let auto = bench_config(quick, SearchMode::Auto);
+    let dies = auto.config().dies as f64;
+    let before_ns = measure(samples, || {
+        run_campaign(&exhaustive).expect("bench campaign runs")
+    });
+    let after_ns = measure(samples, || {
+        run_campaign(&auto).expect("bench campaign runs")
+    });
+    let rate = |ns: u128| dies / (ns.max(1) as f64 / 1e9);
+    PerfReport {
+        quick,
+        // The campaign is simulation-free: no per-CU trace exists.
+        ops_per_cu: 0,
+        benchmarks: vec![PerfBenchmark {
+            name: VMIN_BENCHMARK_NAMES[0],
+            before_ns,
+            after_ns,
+            throughput: Some(Throughput {
+                unit: "dies_per_sec",
+                before: rate(before_ns),
+                after: rate(after_ns),
+            }),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_and_production_configs_share_a_cache_key() {
+        // SearchMode is an execution knob: both sides of the benchmark
+        // describe the same campaign.
+        assert_eq!(
+            bench_config(true, SearchMode::Exhaustive).canonical_json(),
+            bench_config(true, SearchMode::Auto).canonical_json()
+        );
+    }
+
+    #[test]
+    fn vmin_report_carries_throughput() {
+        let report = PerfReport {
+            quick: true,
+            ops_per_cu: 0,
+            benchmarks: vec![PerfBenchmark {
+                name: VMIN_BENCHMARK_NAMES[0],
+                before_ns: 2_000_000_000,
+                after_ns: 1_000_000_000,
+                throughput: Some(Throughput {
+                    unit: "dies_per_sec",
+                    before: 32.0,
+                    after: 64.0,
+                }),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"throughput\": {\"unit\": \"dies_per_sec\""));
+        assert!(json.contains("\"after\": 64.000"));
+        let parsed = killi_obs::parse_json(&json).expect("valid JSON");
+        let bench = &parsed
+            .get("benchmarks")
+            .and_then(|b| b.as_array())
+            .expect("benchmarks array")[0];
+        assert_eq!(
+            bench
+                .get("throughput")
+                .and_then(|t| t.get("unit"))
+                .and_then(|u| u.as_str()),
+            Some("dies_per_sec")
+        );
+    }
+}

@@ -12,8 +12,10 @@
 //! - [`model`] — analytic coverage, area and power models,
 //! - [`obs`] — typed event/metrics observability layer,
 //! - [`mod@bench`] — experiment runner and Monte-Carlo sweep engine,
-//! - [`serve`] — the sweep engine as an HTTP service (job queue, worker
-//!   pool, content-addressed result cache).
+//! - [`vmin`] — fleet-scale Vmin campaigns (per-die minimum-voltage
+//!   binning over a streaming die store),
+//! - [`serve`] — the sweep and campaign engines as an HTTP service (job
+//!   queue, worker pool, content-addressed result cache).
 //!
 //! # Quickstart
 //!
@@ -37,4 +39,5 @@ pub use killi_model as model;
 pub use killi_obs as obs;
 pub use killi_serve as serve;
 pub use killi_sim as sim;
+pub use killi_vmin as vmin;
 pub use killi_workloads as workloads;

@@ -23,7 +23,6 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use killi_repro::bench::sweep::run_sweep_validated;
 use killi_repro::obs::serve::{parse_job_id, JobId, ServeCounter, ServeEvent};
 use killi_repro::serve::{parse_job_spec, Client, Handle, Server, ServerConfig};
 
@@ -132,8 +131,9 @@ fn concurrent_submissions_share_one_execution_and_the_golden_bytes() {
     // Everyone fetches; all four reports are byte-identical, equal to a
     // direct in-process run of the same validated config, and equal to
     // the golden sweep report bytes.
-    let direct =
-        run_sweep_validated(&parse_job_spec(payload.as_bytes()).expect("golden parses")).to_json();
+    let direct = parse_job_spec(payload.as_bytes())
+        .expect("golden parses")
+        .run();
     let golden =
         std::fs::read_to_string(golden_path("sweep_report.json")).expect("golden sweep report");
     assert_eq!(direct, golden, "direct run diverged from the golden bytes");
@@ -186,7 +186,7 @@ fn queue_overflow_gets_429_and_drain_keeps_every_accepted_result() {
     });
     let tiny_job = |seed: u64| {
         format!(
-            "{{\"root_seed\": {seed}, \"replications\": 1, \"vdds\": [0.625], \
+            "{{\"root_seed\": {seed}, \"replications\": 1, \"vdds\": [0.65, 0.625], \
              \"schemes\": [\"killi:ratio=16\"], \"workloads\": [\"fft\"], \
              \"ops_per_cu\": 200, \"gpu\": {{\"cus\": 2, \"l2_kb\": 64}}}}"
         )
@@ -283,7 +283,7 @@ fn hostile_requests_get_4xx_and_never_wedge_the_service() {
         ("{\"root_seed\": 1}", "missing required fields"),
         (deep.as_str(), "pathologically deep nesting"),
         (
-            "{\"root_seed\":1,\"replications\":1,\"vdds\":[0.6],\"schemes\":[\"frobnicate\"],\
+            "{\"root_seed\":1,\"replications\":1,\"vdds\":[0.65,0.6],\"schemes\":[\"frobnicate\"],\
              \"workloads\":[\"fft\"],\"ops_per_cu\":10}",
             "unknown scheme",
         ),

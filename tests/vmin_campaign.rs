@@ -1,0 +1,160 @@
+//! Integration tests for the `killi vmin` campaign subsystem.
+//!
+//! Two contracts pinned here:
+//!
+//! 1. **Search soundness** — for every registered *voltage-nested* fault
+//!    model, the production nesting-aware search (bisection) bins every
+//!    die at exactly the Vmin the exhaustive linear-scan oracle finds,
+//!    and the non-nested `transient` model takes the deterministic
+//!    linear fallback (bisection would be unsound there).
+//! 2. **Golden bytes** — a reference campaign emits a byte-identical
+//!    `killi-vmin/v1` report at 1, 2 and 8 threads, through both the
+//!    direct and die-store synthesis paths. Re-bless after an
+//!    *intentional* output change with:
+//!
+//!    ```sh
+//!    KILLI_BLESS=1 cargo test --test vmin_campaign
+//!    ```
+
+use std::path::PathBuf;
+
+use killi_repro::bench::fault_models::FaultModelConfig;
+use killi_repro::bench::schemes::SchemeSpec;
+use killi_repro::fault::model::default_registry as fault_registry;
+use killi_repro::vmin::{check_report, run_campaign, SearchMode, VminConfig};
+
+/// Parses a `killi-vmin/v1` report and drops the `search` block — the
+/// probe accounting is the one part that legitimately differs between
+/// the bisection and exhaustive search modes.
+fn without_search_block(report: &str) -> killi_repro::obs::JsonValue {
+    use killi_repro::obs::JsonValue;
+    let parsed = killi_repro::obs::parse_json(report).expect("report parses");
+    let JsonValue::Object(entries) = parsed else {
+        panic!("report is not an object");
+    };
+    JsonValue::Object(entries.into_iter().filter(|(k, _)| k != "search").collect())
+}
+
+/// A campaign small enough to run every fault model through in seconds
+/// but large enough that dies actually spread across the grid.
+fn small_campaign(fault_model: FaultModelConfig, search: SearchMode) -> VminConfig {
+    VminConfig {
+        root_seed: 2024,
+        dies: 10,
+        lines: 512,
+        target: 0.99,
+        vdds: vec![0.55, 0.6, 0.65, 0.7],
+        schemes: vec![SchemeSpec::Killi(16).config(), SchemeSpec::Flair.config()],
+        fault_model,
+        threads: 2,
+        progress_every: 0,
+        store: None,
+        search,
+    }
+}
+
+#[test]
+fn nesting_aware_search_matches_the_exhaustive_oracle_for_every_model() {
+    for descriptor in fault_registry().descriptors() {
+        let model = FaultModelConfig::new(descriptor.name);
+        let auto = small_campaign(model.clone(), SearchMode::Auto)
+            .validated()
+            .unwrap_or_else(|e| panic!("{}: {e}", descriptor.name));
+        let oracle = small_campaign(model, SearchMode::Exhaustive)
+            .validated()
+            .unwrap();
+        let auto_out = run_campaign(&auto).expect("campaign runs");
+        let oracle_out = run_campaign(&oracle).expect("oracle campaign runs");
+
+        // Same bins, same CDFs, same capacity curves. Only the `search`
+        // block (probe accounting) may differ between the two modes.
+        assert_eq!(
+            without_search_block(&auto_out.report.to_json()),
+            without_search_block(&oracle_out.report.to_json()),
+            "{}: nesting-aware search diverged from the exhaustive oracle",
+            descriptor.name
+        );
+
+        let stats = &auto_out.report.stats;
+        assert_eq!(auto_out.report.nested, descriptor.voltage_nested);
+        if descriptor.voltage_nested {
+            // Nested models bisect: no linear fallbacks, and never more
+            // probes than the oracle's full scans (on a grid this small
+            // the two can tie; larger grids separate them).
+            assert!(stats.binary_searches > 0, "{}", descriptor.name);
+            assert_eq!(stats.linear_scans, 0, "{}", descriptor.name);
+            assert!(
+                stats.probes <= oracle_out.report.stats.probes,
+                "{}: bisection probed more grid points than the \
+                 exhaustive scan ({} vs {})",
+                descriptor.name,
+                stats.probes,
+                oracle_out.report.stats.probes
+            );
+        } else {
+            // Non-nested models must not bisect — the pass predicate is
+            // not monotone, so Auto takes the linear fallback.
+            assert_eq!(stats.binary_searches, 0, "{}", descriptor.name);
+            assert!(stats.linear_scans > 0, "{}", descriptor.name);
+            assert_eq!(
+                stats.probes, oracle_out.report.stats.probes,
+                "{}: the linear fallback is the exhaustive scan",
+                descriptor.name
+            );
+        }
+
+        // Every emitted report satisfies its own checker.
+        check_report(&auto_out.report.to_json())
+            .unwrap_or_else(|e| panic!("{}: {e}", descriptor.name));
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+fn check_or_bless(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("KILLI_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with KILLI_BLESS=1", name));
+    assert_eq!(
+        actual, golden,
+        "{name} diverged from the recorded golden bytes"
+    );
+}
+
+#[test]
+fn vmin_report_matches_golden_bytes_across_thread_counts_and_paths() {
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut config = small_campaign(FaultModelConfig::default(), SearchMode::Auto);
+        config.threads = threads;
+        let validated = config.validated().expect("reference config is valid");
+        let out = run_campaign(&validated).expect("campaign runs");
+        check_or_bless("vmin_report.json", &out.report.to_json());
+        reports.push(out.report.to_json());
+    }
+    assert!(reports.windows(2).all(|w| w[0] == w[1]));
+
+    // The die-store path replays the same fleet from disk and must emit
+    // the same bytes (build on first run, stream on the second).
+    let dir = std::env::temp_dir().join(format!("killi-vmin-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("fleet.kds");
+    for _ in 0..2 {
+        let mut config = small_campaign(FaultModelConfig::default(), SearchMode::Auto);
+        config.store = Some(store.clone());
+        let validated = config.validated().expect("store config is valid");
+        let out = run_campaign(&validated).expect("store campaign runs");
+        assert_eq!(out.report.to_json(), reports[0]);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
